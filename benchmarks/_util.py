@@ -1,0 +1,35 @@
+"""Small helpers local to the benchmark suite."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Application, Mapping, Platform
+
+
+def make_mapping(
+    teams: list[list[int]],
+    *,
+    works: list[float] | None = None,
+    files: list[float] | None = None,
+    speeds: list[float] | None = None,
+    bandwidth: float = 1.0,
+    seed: int | None = None,
+) -> Mapping:
+    """Compact mapping builder (mirror of the test-suite helper)."""
+    n = len(teams)
+    m = max(p for t in teams for p in t) + 1
+    works = works if works is not None else [1.0] * n
+    files = files if files is not None else [1.0] * (n - 1)
+    app = Application.from_work(works, files)
+    if seed is not None:
+        r = np.random.default_rng(seed)
+        speeds = r.uniform(0.5, 2.0, m).tolist()
+        bw = r.uniform(0.5, 2.0, (m, m))
+        bw = np.triu(bw, 1)
+        bw = bw + bw.T + np.eye(m)
+        platform = Platform.from_speeds(speeds, bw)
+    else:
+        speeds = speeds if speeds is not None else [1.0] * m
+        platform = Platform.from_speeds(speeds, bandwidth)
+    return Mapping(app, platform, teams)

@@ -1,0 +1,87 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+* buffer capacity: how fast the finite-buffer marking chain converges to
+  the unbounded decomposition value (DESIGN §3.3);
+* semantics gap: unbounded vs bottleneck on heterogeneous branches
+  (DESIGN §3.2);
+* TPN DES throttle: measured throughput is insensitive to the cap on
+  symmetric systems.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import exponential_throughput, overlap_throughput
+from repro.mapping.examples import single_communication
+from repro.petri import build_overlap_tpn
+from repro.sim.tpn_sim import simulate_tpn
+
+from _util import make_mapping
+
+
+def test_buffer_capacity_convergence(benchmark, reporter):
+    """ρ(capacity B) increases towards the unbounded value."""
+    mp = make_mapping([[0], [1]], works=[1.0, 1.0], files=[1.0])
+    target = overlap_throughput(mp, "exponential")
+
+    def sweep():
+        return [
+            exponential_throughput(
+                mp, "overlap", method="full", buffer_capacity=b,
+                max_states=400_000,
+            )
+            for b in (1, 2, 4, 8)
+        ]
+
+    values = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["# ablation: buffer capacity -> throughput (target %.6g)" % target]
+    for b, v in zip((1, 2, 4, 8), values):
+        lines.append(f"B={b}: {v:.6g} ({100 * v / target:.2f}% of unbounded)")
+    reporter.append("\n".join(lines))
+    # Monotone 1 - O(1/B) convergence: strictly increasing, all below the
+    # unbounded value, and already within ~15% at B = 8.
+    assert values == sorted(values)
+    assert values[-1] < target
+    assert values[-1] > 0.8 * target
+
+
+def test_semantics_gap_on_heterogeneous_branches(benchmark, reporter):
+    """Unbounded >= bottleneck; strict gap on a skewed two-team system."""
+    mp = make_mapping(
+        [[0], [1, 2]], works=[0.01, 2.0], files=[0.01],
+        speeds=[100.0, 10.0, 0.5],
+    )
+
+    def compute():
+        return (
+            overlap_throughput(mp, "deterministic"),
+            overlap_throughput(mp, "deterministic", semantics="bottleneck"),
+        )
+
+    unb, bot = benchmark.pedantic(compute, rounds=1, iterations=1)
+    reporter.append(
+        f"# ablation: semantics gap  unbounded={unb:.6g}  bottleneck={bot:.6g}"
+    )
+    assert unb > bot * 1.5  # the skew makes the gap large
+
+
+def test_throttle_insensitivity(benchmark, reporter):
+    """On symmetric systems the DES throttle does not bias throughput."""
+    mp = single_communication(3, 4)
+    tpn = build_overlap_tpn(mp)
+
+    def sweep():
+        return [
+            simulate_tpn(
+                tpn, n_datasets=4000, law="exponential", seed=5, throttle=t
+            ).steady_state_throughput()
+            for t in (4, 16, 64)
+        ]
+
+    values = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    reporter.append(
+        "# ablation: DES throttle -> throughput "
+        + ", ".join(f"{t}:{v:.4g}" for t, v in zip((4, 16, 64), values))
+    )
+    assert max(values) - min(values) < 0.05 * max(values)

@@ -1,0 +1,21 @@
+"""Benchmark / reproduction of Fig. 10 (throughput vs data-set count)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig10
+
+
+def test_fig10(benchmark, paper_scale, reporter):
+    if paper_scale:
+        config = fig10.Fig10Config()
+    else:
+        config = fig10.Fig10Config(
+            dataset_counts=[100, 1000, 10_000], tpn_max_datasets=3000
+        )
+    result = benchmark.pedantic(fig10.run, args=(config,), rounds=1, iterations=1)
+    reporter.append(result.render())
+    last = result.rows[-1]
+    assert last["cst_system"] == pytest.approx(last["cst_theory"], rel=0.02)
+    assert last["exp_system"] == pytest.approx(last["exp_theory"], rel=0.06)

@@ -1,0 +1,19 @@
+"""Benchmark / reproduction of Fig. 11 (estimator dispersion, 500 runs)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig11
+
+
+def test_fig11(benchmark, paper_scale, reporter):
+    if paper_scale:
+        config = fig11.Fig11Config()
+    else:
+        config = fig11.Fig11Config(
+            dataset_counts=[50, 500, 5000], n_replications=40
+        )
+    result = benchmark.pedantic(fig11.run, args=(config,), rounds=1, iterations=1)
+    reporter.append(result.render())
+    stds = [r["rel_std_pct"] for r in result.rows]
+    assert stds == sorted(stds, reverse=True) or stds[0] > stds[-1]
+    assert stds[-1] < 5.0  # paper: ≈2% at 5k data sets

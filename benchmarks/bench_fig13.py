@@ -1,0 +1,20 @@
+"""Benchmark / reproduction of Fig. 13 (Theorem 4 vs simulation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig13
+
+
+def test_fig13(benchmark, paper_scale, reporter):
+    if paper_scale:
+        config = fig13.Fig13Config()
+    else:
+        config = fig13.Fig13Config(
+            sides=[(2, 3), (3, 4), (4, 5), (5, 7), (2, 9)], n_datasets=6000
+        )
+    result = benchmark.pedantic(fig13.run, args=(config,), rounds=1, iterations=1)
+    reporter.append(result.render())
+    for r in result.rows:
+        assert r["exp_sim"] == pytest.approx(r["exp_theory"], rel=0.06)

@@ -1,0 +1,21 @@
+"""Benchmark / reproduction of Fig. 15 (the max(u,v)/(u+v-1) ratio)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig15
+
+
+def test_fig15(benchmark, paper_scale, reporter):
+    if paper_scale:
+        config = fig15.Fig15Config()
+    else:
+        config = fig15.Fig15Config(
+            senders=[2, 4, 5, 7, 10, 14], n_datasets=6000
+        )
+    result = benchmark.pedantic(fig15.run, args=(config,), rounds=1, iterations=1)
+    reporter.append(result.render())
+    for r in result.rows:
+        assert r["exp_sim_norm"] == pytest.approx(r["ratio_formula"], rel=0.07)
+        assert 0.5 < r["ratio_formula"] <= 1.0

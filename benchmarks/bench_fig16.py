@@ -1,0 +1,15 @@
+"""Benchmark / reproduction of Fig. 16 (N.B.U.E. laws inside the bounds)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig16
+
+
+def test_fig16(benchmark, paper_scale, reporter):
+    if paper_scale:
+        config = fig16.Fig16Config()
+    else:
+        config = fig16.Fig16Config(senders=[3, 4, 7], n_datasets=12_000)
+    result = benchmark.pedantic(fig16.run, args=(config,), rounds=1, iterations=1)
+    reporter.append(result.render())
+    assert all(r["all_inside"] for r in result.rows)

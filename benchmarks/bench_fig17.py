@@ -1,0 +1,17 @@
+"""Benchmark / reproduction of Fig. 17 (non-N.B.U.E. laws escape)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig17
+
+
+def test_fig17(benchmark, paper_scale, reporter):
+    if paper_scale:
+        config = fig17.Fig17Config()
+    else:
+        config = fig17.Fig17Config(senders=[3, 4, 7], n_datasets=6000)
+    result = benchmark.pedantic(fig17.run, args=(config,), rounds=1, iterations=1)
+    reporter.append(result.render())
+    for r in result.rows:
+        assert r["gamma(shape=0.25)"] < r["lower_exp"] * 0.97
+        assert r["hyperexponential(cv2=6)"] < r["lower_exp"] * 0.97

@@ -1,0 +1,18 @@
+"""Benchmark / reproduction of Table 1 (critical-resource census)."""
+
+from __future__ import annotations
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, paper_scale, reporter):
+    scale = 1.0 if paper_scale else 0.05
+    config = table1.scaled_config(scale)
+    if not paper_scale:
+        # Keep the benchmark loop tight: two small-comm classes dominate
+        # the paper's interesting rows (where Strict gaps appear).
+        config.classes = config.classes[:2] + config.classes[6:8]
+    result = benchmark.pedantic(table1.run, args=(config,), rounds=1, iterations=1)
+    reporter.append(result.render())
+    overlap_rows = [r for r in result.rows if r["model"] == "overlap"]
+    assert all(r["no_critical"] == 0 for r in overlap_rows)

@@ -1,0 +1,17 @@
+"""Benchmark / reproduction of Section 7.7 (tool running times)."""
+
+from __future__ import annotations
+
+from repro.experiments import timing
+
+
+def test_timing(benchmark, paper_scale, reporter):
+    if paper_scale:
+        config = timing.TimingConfig()
+    else:
+        config = timing.TimingConfig(
+            dataset_counts=[100, 1000, 10_000], tpn_cap=5_000
+        )
+    result = benchmark.pedantic(timing.run, args=(config,), rounds=1, iterations=1)
+    reporter.append(result.render())
+    assert all(r["system_sim_s"] >= 0 for r in result.rows)

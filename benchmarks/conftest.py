@@ -1,0 +1,45 @@
+"""Benchmark harness configuration.
+
+Each ``bench_*.py`` regenerates one table/figure of the paper (Section 7)
+through pytest-benchmark: the benchmark measures the driver's runtime and
+the printed rows are the reproduced series. ``--benchmark-only`` runs just
+these. Scaled-down configurations keep the suite in CI-friendly territory;
+pass ``--paper-scale`` for the full campaigns.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="run the full-size experimental campaigns of the paper",
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_scale(request) -> bool:
+    return bool(request.config.getoption("--paper-scale"))
+
+
+@pytest.fixture(scope="session")
+def reporter():
+    """Collect rendered experiment tables; print and persist at session end.
+
+    The tables are the regenerated paper rows. They are printed (visible
+    with ``-s``) and always written to ``benchmark_report.txt`` at the
+    repository root, since pytest's capture swallows teardown prints.
+    """
+    import pathlib
+
+    tables: list[str] = []
+    yield tables
+    text = "\n\n".join(tables) + "\n"
+    print()
+    print(text)
+    out = pathlib.Path(__file__).resolve().parent.parent / "benchmark_report.txt"
+    out.write_text(text)

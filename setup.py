@@ -1,0 +1,10 @@
+"""Legacy shim so editable installs work without the ``wheel`` package.
+
+All metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e . --no-use-pep517`` (and ``python setup.py develop``) on
+minimal offline environments.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,69 @@
+"""repro — throughput of probabilistic and replicated streaming applications.
+
+A complete reproduction of Benoit, Gallet, Gaujal & Robert,
+*Computing the throughput of probabilistic and replicated streaming
+applications* (SPAA 2010 / INRIA RR-7510): linear-chain workflows mapped
+one-to-many onto heterogeneous platforms, timed-event-graph modelling,
+deterministic critical cycles, exponential Markov analysis, N.B.U.E.
+throughput bounds, and the full experimental campaign of Section 7.
+
+Quick start::
+
+    from repro import Application, Platform, Mapping, StreamingSystem
+
+    app  = Application.from_work([4e9, 8e9, 5e9], files=[1e8, 2e8])
+    plat = Platform.homogeneous(n=6, speed=2e9, bandwidth=1e9)
+    mp   = Mapping(app, plat, teams=[[0], [1, 2, 3], [4, 5]])
+    sys  = StreamingSystem(mp, model="overlap")
+    print(sys.deterministic_throughput(), sys.exponential_throughput())
+"""
+
+from repro._version import __version__
+from repro.application import Application, Stage
+from repro.platform import Platform, Processor
+from repro.mapping import Mapping
+from repro.types import ExecutionModel
+from repro.distributions import (
+    Deterministic,
+    Distribution,
+    Exponential,
+    Gamma,
+    HyperExponential,
+    ScaledBeta,
+    TruncatedNormal,
+    Uniform,
+    Weibull,
+    make_distribution,
+)
+from repro.core import (
+    StreamingSystem,
+    ThroughputBounds,
+    deterministic_throughput,
+    exponential_throughput,
+    throughput_bounds,
+)
+
+__all__ = [
+    "__version__",
+    "Application",
+    "Stage",
+    "Platform",
+    "Processor",
+    "Mapping",
+    "ExecutionModel",
+    "Distribution",
+    "Deterministic",
+    "Exponential",
+    "Uniform",
+    "Gamma",
+    "ScaledBeta",
+    "TruncatedNormal",
+    "Weibull",
+    "HyperExponential",
+    "make_distribution",
+    "StreamingSystem",
+    "ThroughputBounds",
+    "deterministic_throughput",
+    "exponential_throughput",
+    "throughput_bounds",
+]

@@ -1,0 +1,7 @@
+"""Linear-chain streaming applications (paper Section 2.1)."""
+
+from repro.application.stage import Stage
+from repro.application.chain import Application
+from repro.application.generators import random_application
+
+__all__ = ["Stage", "Application", "random_application"]

@@ -1,0 +1,121 @@
+"""The linear-chain application model of the paper (Section 2.1).
+
+An :class:`Application` is an immutable sequence of :class:`Stage` objects
+``T_1, …, T_N``. Stage ``T_i`` has size ``w_i`` (flop) and produces a file
+``F_i`` of ``δ_i`` bytes consumed by ``T_{i+1}``; ``T_1`` produces the
+initial data and ``T_N`` gathers the final data, so there are ``N - 1``
+inter-stage files.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.application.stage import Stage
+from repro.exceptions import InvalidApplicationError
+
+
+class Application(Sequence[Stage]):
+    """A streaming application whose dependence graph is a linear chain."""
+
+    __slots__ = ("_stages",)
+
+    def __init__(self, stages: Iterable[Stage]) -> None:
+        stages = tuple(
+            s if s.name else s.renamed(f"T{i + 1}") for i, s in enumerate(stages)
+        )
+        if not stages:
+            raise InvalidApplicationError("an application needs at least one stage")
+        if stages[-1].output_size != 0.0:
+            raise InvalidApplicationError(
+                "the last stage must not produce an output file "
+                f"(got δ_N = {stages[-1].output_size})"
+            )
+        self._stages = stages
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_work(
+        cls, work: Sequence[float], files: Sequence[float] | None = None
+    ) -> "Application":
+        """Build a chain from stage sizes and (optionally) file sizes.
+
+        Parameters
+        ----------
+        work:
+            ``w_1 … w_N`` in flop.
+        files:
+            ``δ_1 … δ_{N-1}`` in bytes; defaults to all zeros
+            (communication-free application).
+        """
+        n = len(work)
+        if files is None:
+            files = [0.0] * max(n - 1, 0)
+        if len(files) != max(n - 1, 0):
+            raise InvalidApplicationError(
+                f"expected {n - 1} file sizes for {n} stages, got {len(files)}"
+            )
+        sizes = list(files) + [0.0]
+        return cls(Stage(float(w), float(d)) for w, d in zip(work, sizes))
+
+    @classmethod
+    def uniform(cls, n_stages: int, work: float, file_size: float) -> "Application":
+        """A chain of ``n_stages`` identical stages with identical files."""
+        if n_stages < 1:
+            raise InvalidApplicationError("n_stages must be >= 1")
+        return cls.from_work([work] * n_stages, [file_size] * (n_stages - 1))
+
+    # ------------------------------------------------------------------
+    # Sequence protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._stages)
+
+    def __getitem__(self, index):  # type: ignore[override]
+        return self._stages[index]
+
+    def __iter__(self) -> Iterator[Stage]:
+        return iter(self._stages)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Application) and self._stages == other._stages
+
+    def __hash__(self) -> int:
+        return hash(self._stages)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{s.name}(w={s.work:g}, δ={s.output_size:g})" for s in self._stages
+        )
+        return f"Application([{inner}])"
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_stages(self) -> int:
+        """Number of stages ``N``."""
+        return len(self._stages)
+
+    @property
+    def works(self) -> np.ndarray:
+        """Vector ``(w_1, …, w_N)`` of stage sizes in flop."""
+        return np.array([s.work for s in self._stages], dtype=float)
+
+    @property
+    def file_sizes(self) -> np.ndarray:
+        """Vector ``(δ_1, …, δ_{N-1})`` of inter-stage file sizes in bytes."""
+        return np.array([s.output_size for s in self._stages[:-1]], dtype=float)
+
+    def file_size(self, i: int) -> float:
+        """Size of file ``F_{i+1}`` flowing from stage ``i`` to ``i + 1``.
+
+        ``i`` is a 0-based stage index; valid for ``0 <= i < N - 1``.
+        """
+        if not 0 <= i < self.n_stages - 1:
+            raise IndexError(f"no file after stage index {i} (N={self.n_stages})")
+        return self._stages[i].output_size

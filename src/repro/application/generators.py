@@ -1,0 +1,43 @@
+"""Random application generators for the experimental campaigns.
+
+The paper's Table 1 draws stage and file sizes uniformly from ranges such as
+5…15 s or 10…1000 s of *work time* on a reference processor; we keep the
+same convention: callers pass time ranges and a reference speed/bandwidth of
+1, so work == time numerically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.application.chain import Application
+from repro.exceptions import InvalidApplicationError
+
+
+def random_application(
+    n_stages: int,
+    rng: np.random.Generator,
+    *,
+    work_range: tuple[float, float] = (5.0, 15.0),
+    file_range: tuple[float, float] = (5.0, 15.0),
+) -> Application:
+    """Draw an application with uniform stage and file sizes.
+
+    Parameters
+    ----------
+    n_stages:
+        Number of pipeline stages ``N >= 1``.
+    rng:
+        Numpy random generator (callers control seeding).
+    work_range, file_range:
+        Inclusive bounds of the uniform laws for ``w_i`` and ``δ_i``.
+    """
+    if n_stages < 1:
+        raise InvalidApplicationError("n_stages must be >= 1")
+    lo_w, hi_w = work_range
+    lo_f, hi_f = file_range
+    if lo_w < 0 or hi_w < lo_w or lo_f < 0 or hi_f < lo_f:
+        raise InvalidApplicationError("invalid work/file ranges")
+    work = rng.uniform(lo_w, hi_w, size=n_stages)
+    files = rng.uniform(lo_f, hi_f, size=max(n_stages - 1, 0))
+    return Application.from_work(work.tolist(), files.tolist())

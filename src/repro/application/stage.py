@@ -1,0 +1,42 @@
+"""A single stage of a linear-chain streaming application."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import InvalidApplicationError
+
+
+@dataclass(frozen=True, slots=True)
+class Stage:
+    """Stage ``T_i`` of the pipeline (paper Section 2.1).
+
+    Attributes
+    ----------
+    work:
+        Size ``w_i`` of the stage in flop. Must be non-negative; zero is
+        allowed and models a negligible computation, as used by the paper's
+        communication-only experiments (Section 7.4).
+    output_size:
+        Size ``δ_i`` in bytes of the file ``F_i`` produced for the next
+        stage. The last stage of a chain has ``output_size == 0.0``.
+    name:
+        Optional human-readable identifier; defaults to ``"T{index}"`` when
+        the stage is inserted into an :class:`~repro.application.Application`.
+    """
+
+    work: float
+    output_size: float = 0.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.work < 0:
+            raise InvalidApplicationError(f"stage work must be >= 0, got {self.work}")
+        if self.output_size < 0:
+            raise InvalidApplicationError(
+                f"stage output size must be >= 0, got {self.output_size}"
+            )
+
+    def renamed(self, name: str) -> "Stage":
+        """Return a copy of this stage carrying ``name``."""
+        return Stage(self.work, self.output_size, name)

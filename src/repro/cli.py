@@ -1,0 +1,75 @@
+"""Command-line driver for the experimental campaign.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli run fig13
+    python -m repro.cli run all --scale 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _scaled_config(name: str, module, scale: float):
+    """Best-effort scaled-down configuration per experiment."""
+    if scale >= 1.0:
+        return None
+    if name == "table1":
+        return module.scaled_config(scale)
+    cfg = None
+    cfg_cls = getattr(module, f"{name.capitalize()}Config", None)
+    if cfg_cls is None:
+        return None
+    cfg = cfg_cls()
+    for attr in ("n_datasets", "tpn_datasets", "n_replications"):
+        if hasattr(cfg, attr):
+            setattr(cfg, attr, max(200, int(getattr(cfg, attr) * scale)))
+    for attr in ("dataset_counts",):
+        if hasattr(cfg, attr):
+            counts = [max(10, int(k * scale)) for k in getattr(cfg, attr)]
+            setattr(cfg, attr, sorted(set(counts)))
+    if hasattr(cfg, "include_exp_theory") and scale < 0.5:
+        cfg.include_exp_theory = False
+    return cfg
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the tables and figures of the paper (Section 7).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    runp = sub.add_parser("run", help="run one experiment (or 'all')")
+    runp.add_argument("experiment", choices=[*ALL_EXPERIMENTS, "all"])
+    runp.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload scale in (0, 1]; <1 shrinks dataset counts",
+    )
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name, module in ALL_EXPERIMENTS.items():
+            doc = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:8s} {doc}")
+        return 0
+
+    names = list(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        module = ALL_EXPERIMENTS[name]
+        cfg = _scaled_config(name, module, args.scale)
+        result = module.run(cfg)
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

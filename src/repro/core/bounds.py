@@ -1,0 +1,79 @@
+"""Throughput bounds for N.B.U.E. times (paper Section 6, Theorem 7).
+
+For any system whose operation times are I.I.D. N.B.U.E. variables, the
+throughput is sandwiched between two fully computable systems built from
+the *same means*::
+
+    ρ(exponential means)   <=   ρ(N.B.U.E.)   <=   ρ(deterministic means)
+
+The lower bound replaces every law by an exponential with the same mean
+(the ≤icx-largest N.B.U.E. law); the upper bound replaces it by the
+constant equal to the mean (Jensen / ≤icx-smallest). Both bounds are
+computed by the exact evaluators of Sections 4 and 5, which is why the
+paper calls the constant and exponential cases "extreme cases".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mapping.mapping import Mapping
+from repro.types import ExecutionModel
+from repro.core.components import overlap_throughput
+from repro.core.deterministic import tpn_throughput_deterministic
+from repro.core.exponential import exponential_throughput
+from repro.petri.builder_strict import build_strict_tpn
+
+
+@dataclass(frozen=True, slots=True)
+class ThroughputBounds:
+    """The Theorem 7 sandwich. ``lower`` = exponential, ``upper`` = constant."""
+
+    lower: float
+    upper: float
+
+    def __post_init__(self) -> None:
+        # Guard against numerical inversions of the exact evaluators.
+        if self.lower > self.upper * (1 + 1e-9):
+            raise AssertionError(
+                f"bound inversion: exponential {self.lower} > deterministic {self.upper}"
+            )
+
+    def contains(self, value: float, *, rel_slack: float = 0.0) -> bool:
+        """Whether a measured throughput falls inside the sandwich."""
+        slack = rel_slack * self.upper
+        return self.lower - slack <= value <= self.upper + slack
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+
+def throughput_bounds(
+    mapping: Mapping,
+    model: ExecutionModel | str,
+    *,
+    semantics: str = "unbounded",
+    max_states: int = 200_000,
+) -> ThroughputBounds:
+    """Compute the Theorem 7 bounds for a mapping under either model.
+
+    Both bounds are exact values of comparison systems, so any N.B.U.E.
+    simulation of the same mapping must fall in between (up to sampling
+    noise) — precisely what the Fig. 16 reproduction checks, and what the
+    Fig. 17 reproduction violates with non-N.B.U.E. laws. Both bounds use
+    the same Overlap ``semantics`` so the sandwich is coherent.
+    """
+    model = ExecutionModel.coerce(model)
+    if model is ExecutionModel.OVERLAP:
+        upper = overlap_throughput(
+            mapping, "deterministic", semantics=semantics, max_states=max_states
+        )
+        lower = overlap_throughput(
+            mapping, "exponential", semantics=semantics, max_states=max_states
+        )
+    else:
+        tpn = build_strict_tpn(mapping)
+        upper = tpn_throughput_deterministic(tpn)
+        lower = exponential_throughput(mapping, model, max_states=max_states)
+    return ThroughputBounds(lower=lower, upper=upper)

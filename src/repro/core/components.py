@@ -1,0 +1,235 @@
+"""Symbolic component DAG of the Overlap model (Theorems 3 and 4).
+
+The Overlap timed event graph is feed-forward, so its strongly connected
+components sit inside single columns and can be enumerated *without
+unrolling the ``m = lcm(R_i)`` rows*:
+
+* computation column ``i`` — one component per team member (the
+  processor's round-robin cycle);
+* communication column ``i`` — ``g_i = gcd(R_i, R_{i+1})`` components,
+  one per residue ``r mod g_i``; component ``r`` stacks copies of the
+  ``(R_i/g_i) × (R_{i+1}/g_i)`` pattern of :mod:`repro.core.pattern`.
+
+Throughputs compose over the DAG by the bottleneck rule (the standard
+saturation property of feed-forward event graphs): a component's actual
+rate is the min of its *inner* rate and its predecessors' rates. To make
+rates comparable across components handling different row subsets, every
+rate is normalized to the **full-stream equivalent** ``z`` — the global
+data-set rate the system would sustain if that component were the only
+constraint:
+
+* processor ``p`` of stage ``i``: ``z = R_i · λ_p`` (exponential) or
+  ``R_i / c_p`` (deterministic);
+* communication component: ``z = g · (pattern inner throughput)``.
+
+The global throughput is then ``ρ = (1/R_N) · Σ_{p ∈ Team_N} z*_{cpu(N,p)}``
+with ``z*`` the min-composed values — which degrades gracefully to the
+plain bottleneck ``min`` when all last-stage components see the same
+bottleneck, and captures heterogeneous-branch effects otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core import pattern as pat
+from repro.exceptions import UnsupportedModelError
+from repro.mapping.mapping import Mapping
+
+
+@dataclass
+class Component:
+    """One strongly connected component of the Overlap net, symbolically."""
+
+    kind: str  # "cpu" | "comm"
+    stage: int
+    slot: int  # team position (cpu) or residue class (comm)
+    label: str
+    inner_z: float  # full-stream-equivalent inner throughput
+    preds: list[int] = field(default_factory=list)
+    effective_z: float = math.nan  # filled by compose()
+
+    @property
+    def is_bottlenecked(self) -> bool:
+        """Whether an upstream component limits this one."""
+        return self.effective_z < self.inner_z
+
+
+@dataclass
+class ComponentDAG:
+    """All components in topological (column) order plus the final answers.
+
+    Two throughput semantics are reported (see DESIGN.md §3.2):
+
+    * ``throughput`` — *unbounded-buffer* value: branch rates compose by
+      min over each branch's own predecessors and sum at the last stage
+      (the paper's Theorem 3/4 formula). Non-bottleneck branches are not
+      slowed, at the price of linearly growing buffers.
+    * ``bottleneck_throughput`` — ``min`` of all inner rates, i.e. the
+      paper's Section 4 critical-cycle value ``m / P``; also the steady
+      state of any finite-buffer realization, where back-pressure paces
+      every round-robin loop at the slowest component.
+
+    They coincide whenever the global bottleneck lies on every path to the
+    last stage — in particular on all the paper's experimental systems.
+    """
+
+    components: list[Component]
+    throughput: float
+    bottleneck_throughput: float
+    mapping: Mapping
+
+    def bottleneck(self) -> Component:
+        """The component with the smallest inner full-stream rate."""
+        return min(self.components, key=lambda c: c.inner_z)
+
+
+def _comm_pattern(mapping: Mapping, stage: int, residue: int) -> pat.CommPattern:
+    """Pattern of communication ``F_{stage+1}``, residue class ``residue``.
+
+    Pattern row ``t`` corresponds to global rows ``j ≡ residue + t·g``
+    (mod lcm), pairing sender slot ``(residue + t·g) mod R_i`` with
+    receiver slot ``(residue + t·g) mod R_{i+1}``.
+    """
+    r_i = mapping.replication[stage]
+    r_j = mapping.replication[stage + 1]
+    g = math.gcd(r_i, r_j)
+    u, v = r_i // g, r_j // g
+    means = []
+    for t in range(u * v):
+        j = residue + t * g
+        p = mapping.teams[stage][j % r_i]
+        q = mapping.teams[stage + 1][j % r_j]
+        means.append(mapping.comm_time(stage, p, q))
+    return pat.CommPattern(u, v, tuple(means))
+
+
+def _cpu_inner_z(mapping: Mapping, stage: int, proc: int, mode: str) -> float:
+    """Full-stream inner rate of one processor's compute cycle.
+
+    With exponential or constant times of mean ``c_p``, a saturated
+    single-token cycle completes one firing per mean ``c_p`` either way,
+    so the inner rate is ``R_i / c_p`` for both modes.
+    """
+    c = mapping.compute_time(stage, proc)
+    r = mapping.replication[stage]
+    if c == 0.0:
+        return math.inf
+    return r / c
+
+
+def _comm_inner_z(
+    mapping: Mapping, stage: int, residue: int, mode: str, *, max_states: int
+) -> float:
+    g = mapping.comm_component_count(stage)
+    if mapping.application.file_size(stage) == 0.0:
+        return math.inf
+    pattern = _comm_pattern(mapping, stage, residue)
+    if mode == "deterministic":
+        total = pat.pattern_throughput_deterministic(pattern)
+    elif mode == "exponential":
+        total = pat.pattern_throughput_exponential(pattern, max_states=max_states)
+    else:  # pragma: no cover - guarded by caller
+        raise UnsupportedModelError(f"unknown mode {mode!r}")
+    return g * total
+
+
+def overlap_component_dag(
+    mapping: Mapping, mode: str, *, max_states: int = 200_000
+) -> ComponentDAG:
+    """Build the symbolic component DAG and compose throughputs.
+
+    ``mode`` is ``"deterministic"`` or ``"exponential"``. Cost is
+    polynomial except for heterogeneous communication patterns in
+    exponential mode, which solve a CTMC of ``S(u, v)`` states
+    (Theorem 3's complexity).
+    """
+    if mode not in ("deterministic", "exponential"):
+        raise UnsupportedModelError(f"unknown mode {mode!r}")
+    n = mapping.n_stages
+    comps: list[Component] = []
+    index: dict[tuple, int] = {}
+
+    def add(c: Component, key: tuple) -> int:
+        index[key] = len(comps)
+        comps.append(c)
+        return index[key]
+
+    for i in range(n):
+        # Computation column i.
+        for slot, p in enumerate(mapping.teams[i]):
+            c = Component(
+                kind="cpu",
+                stage=i,
+                slot=slot,
+                label=f"T{i + 1}@P{p}",
+                inner_z=_cpu_inner_z(mapping, i, p, mode),
+            )
+            key = ("cpu", i, slot)
+            cid = add(c, key)
+            if i > 0:
+                g_prev = mapping.comm_component_count(i - 1)
+                c.preds.append(index[("comm", i - 1, slot % g_prev)])
+        # Communication column i (between stages i and i+1).
+        if i < n - 1:
+            g = mapping.comm_component_count(i)
+            for r in range(g):
+                c = Component(
+                    kind="comm",
+                    stage=i,
+                    slot=r,
+                    label=f"F{i + 1}#%d" % r,
+                    inner_z=_comm_inner_z(
+                        mapping, i, r, mode, max_states=max_states
+                    ),
+                )
+                cid = add(c, ("comm", i, r))
+                for slot in range(mapping.replication[i]):
+                    if slot % g == r:
+                        c.preds.append(index[("cpu", i, slot)])
+
+    # Bottleneck composition in construction (= topological) order.
+    for c in comps:
+        z = c.inner_z
+        for pid in c.preds:
+            z = min(z, comps[pid].effective_z)
+        c.effective_z = z
+
+    r_n = mapping.replication[-1]
+    rho = (
+        sum(
+            comps[index[("cpu", n - 1, slot)]].effective_z for slot in range(r_n)
+        )
+        / r_n
+    )
+    bottleneck = min(c.inner_z for c in comps)
+    return ComponentDAG(
+        components=comps,
+        throughput=rho,
+        bottleneck_throughput=bottleneck,
+        mapping=mapping,
+    )
+
+
+def overlap_throughput(
+    mapping: Mapping,
+    mode: str,
+    *,
+    semantics: str = "unbounded",
+    max_states: int = 200_000,
+) -> float:
+    """Overlap-model throughput by symbolic decomposition.
+
+    Deterministic mode realizes Section 4.1; exponential mode realizes
+    Theorems 3/4 (polynomial when communications are homogeneous).
+    ``semantics`` selects ``"unbounded"`` (Theorem 3/4 composition,
+    default) or ``"bottleneck"`` (Section 4's ``m / P``; the finite-buffer
+    steady state) — see :class:`ComponentDAG`.
+    """
+    dag = overlap_component_dag(mapping, mode, max_states=max_states)
+    if semantics == "unbounded":
+        return dag.throughput
+    if semantics == "bottleneck":
+        return dag.bottleneck_throughput
+    raise UnsupportedModelError(f"unknown semantics {semantics!r}")

@@ -1,0 +1,104 @@
+"""Periodic steady-state schedules from the dater evolution.
+
+The (max,+) theory behind Section 4 says more than "the throughput is
+``1/P``": after a finite transient, a strongly connected timed event
+graph enters a *periodic regime* — the cyclicity theorem of Baccelli et
+al. [2] — where there exist a cyclicity ``c`` and a cycle time ``λ`` with
+``D(k + c) = D(k) + c·λ`` for every transition. This module extracts that
+executable schedule (which transition completes when inside one repeating
+block) and measures the transient length, turning the static analysis
+into something a runtime could actually enact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import StructuralError
+from repro.maxplus.dater import dater_evolution
+from repro.petri.net import TimedEventGraph
+
+
+@dataclass(frozen=True)
+class PeriodicSchedule:
+    """The steady-state firing pattern of a deterministic event graph.
+
+    Attributes
+    ----------
+    cycle_time:
+        ``λ`` — time between successive firings of any transition, equal
+        to the critical cycle ratio ``P`` of Section 4.
+    cyclicity:
+        ``c`` — the number of firings after which the pattern repeats
+        exactly (often 1; can exceed 1 for strongly connected nets).
+    offsets:
+        Array of shape ``(n_transitions, c)``: completion instants of one
+        repeating block, relative to the block start.
+    transient_rounds:
+        Firing rounds elapsed before the periodic regime was entered.
+    """
+
+    cycle_time: float
+    cyclicity: int
+    offsets: np.ndarray
+    transient_rounds: int
+
+    @property
+    def block_length(self) -> float:
+        """Duration ``c·λ`` of one repeating block."""
+        return self.cyclicity * self.cycle_time
+
+    @property
+    def n_transitions(self) -> int:
+        return int(self.offsets.shape[0])
+
+
+def periodic_schedule(
+    tpn: TimedEventGraph,
+    *,
+    max_rounds: int = 2000,
+    max_cyclicity: int = 12,
+    rtol: float = 1e-9,
+) -> PeriodicSchedule:
+    """Detect the periodic regime of the (deterministic) dater evolution.
+
+    Runs the exact dater recursion and searches for the smallest
+    cyclicity ``c ≤ max_cyclicity`` and round ``k`` such that
+    ``D(k + c) − D(k)`` is one constant across transitions and repeats on
+    the next block.
+
+    Raises
+    ------
+    StructuralError
+        When no periodic regime emerges — the signature of a feed-forward
+        net whose components run at different rates (heterogeneous
+        branches; use the per-component analysis instead) or of an
+        insufficient ``max_rounds``.
+    """
+    d = dater_evolution(tpn, max_rounds)
+    scale = max(float(np.abs(d).max()), 1.0)
+    atol = rtol * scale
+    n_rounds = d.shape[1]
+    for c in range(1, max_cyclicity + 1):
+        # Start the scan late enough that transients have usually died.
+        for k in range(0, n_rounds - 2 * c):
+            delta = d[:, k + c] - d[:, k]
+            if not np.allclose(delta, delta[0], rtol=rtol, atol=atol):
+                continue
+            repeat = d[:, k + 2 * c] - d[:, k + c]
+            if not np.allclose(repeat, delta[0], rtol=rtol, atol=atol):
+                continue
+            lam = float(delta[0]) / c
+            block = d[:, k : k + c] - d[:, k : k + c].min()
+            return PeriodicSchedule(
+                cycle_time=lam,
+                cyclicity=c,
+                offsets=block,
+                transient_rounds=k,
+            )
+    raise StructuralError(
+        "no periodic regime detected: feed-forward components run at "
+        "different rates (heterogeneous branches) or max_rounds too small"
+    )

@@ -1,0 +1,133 @@
+"""High-level façade tying the whole library together.
+
+A :class:`StreamingSystem` is a mapping plus an execution model; it
+exposes every computation of the paper as one method:
+
+>>> sys = StreamingSystem(mapping, model="overlap")
+>>> sys.deterministic_throughput()          # Section 4
+>>> sys.exponential_throughput()            # Section 5
+>>> sys.throughput_bounds()                 # Section 6, Theorem 7
+>>> sys.simulate(law="gamma", law_params={"shape": 0.5},
+...              n_datasets=10_000, seed=7) # Section 7
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from repro.mapping.mapping import Mapping
+from repro.mapping.resources import max_cycle_time
+from repro.petri.builder_overlap import build_overlap_tpn
+from repro.petri.builder_strict import build_strict_tpn
+from repro.petri.net import TimedEventGraph
+from repro.sim.results import SimulationResult
+from repro.sim.sampling import LawSpec
+from repro.types import ExecutionModel
+from repro.core.bounds import ThroughputBounds, throughput_bounds
+from repro.core.critical import CriticalResourceReport, analyze_critical_resource
+from repro.core.critical import deterministic_throughput as _det_throughput
+from repro.core.exponential import exponential_throughput as _exp_throughput
+
+
+class StreamingSystem:
+    """A mapped streaming application under one execution model."""
+
+    def __init__(self, mapping: Mapping, model: ExecutionModel | str = "overlap") -> None:
+        self.mapping = mapping
+        self.model = ExecutionModel.coerce(model)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def application(self):
+        return self.mapping.application
+
+    @property
+    def platform(self):
+        return self.mapping.platform
+
+    @cached_property
+    def n_paths(self) -> int:
+        """Number of round-robin paths (Proposition 1)."""
+        return self.mapping.n_rows
+
+    def build_tpn(self, **kwargs) -> TimedEventGraph:
+        """The unrolled timed event graph of Section 3."""
+        if self.model is ExecutionModel.OVERLAP:
+            return build_overlap_tpn(self.mapping, **kwargs)
+        return build_strict_tpn(self.mapping, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Analytic throughputs
+    # ------------------------------------------------------------------
+    def deterministic_throughput(self, *, semantics: str = "unbounded") -> float:
+        """Static throughput (Section 4)."""
+        return _det_throughput(self.mapping, self.model, semantics=semantics)
+
+    def exponential_throughput(self, *, method: str = "auto", **kwargs) -> float:
+        """Exponential-times throughput (Section 5)."""
+        return _exp_throughput(self.mapping, self.model, method=method, **kwargs)
+
+    def throughput_bounds(self, **kwargs) -> ThroughputBounds:
+        """N.B.U.E. sandwich (Theorem 7): ``(exponential, deterministic)``."""
+        return throughput_bounds(self.mapping, self.model, **kwargs)
+
+    def max_cycle_time(self, **kwargs) -> float:
+        """Critical-resource bound ``Mct`` (Section 2.3)."""
+        return max_cycle_time(self.mapping, self.model, **kwargs)
+
+    def critical_resource_report(self, **kwargs) -> CriticalResourceReport:
+        """Critical-resource analysis backing Table 1."""
+        return analyze_critical_resource(self.mapping, self.model, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        *,
+        n_datasets: int,
+        law: str = "exponential",
+        law_params: dict | None = None,
+        seed: int | None = None,
+        rng: np.random.Generator | None = None,
+        engine: str = "system",
+        **kwargs,
+    ) -> SimulationResult:
+        """Simulate the system (Section 7).
+
+        ``engine`` selects ``"system"`` (direct recurrences, SimGrid
+        stand-in) or ``"tpn"`` (event-graph simulation, ``eg_sim``
+        stand-in).
+        """
+        spec = LawSpec.of(law, **(law_params or {}))
+        if engine == "system":
+            from repro.sim.system_sim import simulate_system
+
+            return simulate_system(
+                self.mapping,
+                self.model,
+                n_datasets=n_datasets,
+                law=spec,
+                seed=seed,
+                rng=rng,
+                **kwargs,
+            )
+        if engine == "tpn":
+            from repro.sim.tpn_sim import simulate_tpn
+
+            return simulate_tpn(
+                self.build_tpn(),
+                n_datasets=n_datasets,
+                law=spec,
+                seed=seed,
+                rng=rng,
+                **kwargs,
+            )
+        raise ValueError(f"unknown engine {engine!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StreamingSystem({self.mapping!r}, model={self.model.value})"

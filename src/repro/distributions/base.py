@@ -1,0 +1,144 @@
+"""Base class of the random computation/communication time laws.
+
+The paper models every operation time on a given hardware resource as an
+I.I.D. sequence of non-negative random variables (Section 2.4). A
+:class:`Distribution` bundles what the library needs of such a law:
+
+* an exact ``mean`` (the deterministic and exponential comparison systems
+  of Theorem 7 are built from means);
+* vectorized ``sample``-ing from a caller-provided numpy generator;
+* an analytic N.B.U.E. flag (New Better than Used in Expectation:
+  ``E[X - t | X > t] <= E[X]`` for all ``t > 0``), the hypothesis of the
+  throughput bounds of Section 6;
+* rescaling via :meth:`with_mean`, so one "shape" can be re-targeted to
+  every resource of a mapping.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.exceptions import InvalidDistributionError
+
+
+class Distribution(abc.ABC):
+    """A non-negative random variable modelling an operation time."""
+
+    __slots__ = ()
+
+    # -- identity ------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Short machine-friendly family name (e.g. ``"gamma"``)."""
+
+    # -- moments -------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Exact expectation ``E[X]``."""
+
+    @property
+    @abc.abstractmethod
+    def variance(self) -> float:
+        """Exact variance ``Var[X]`` (``inf`` allowed, ``0`` for constants)."""
+
+    @property
+    def std(self) -> float:
+        """Standard deviation."""
+        return float(np.sqrt(self.variance))
+
+    @property
+    def cv2(self) -> float:
+        """Squared coefficient of variation ``Var[X] / E[X]²``."""
+        m = self.mean
+        if m == 0.0:
+            return 0.0
+        return self.variance / (m * m)
+
+    # -- N.B.U.E. classification ----------------------------------------
+    @property
+    @abc.abstractmethod
+    def is_nbue(self) -> bool:
+        """Whether the law is N.B.U.E. (analytic classification).
+
+        Exponential laws are the boundary case (N.B.U.E. with equality);
+        deterministic, uniform, and IFR laws (gamma/Weibull with shape >= 1,
+        bounded-support beta with both shapes >= 1) are N.B.U.E.;
+        DFR laws (gamma/Weibull with shape < 1, hyperexponential) are not.
+        """
+
+    # -- sampling --------------------------------------------------------
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        """Draw ``size`` I.I.D. copies (or a scalar when ``size is None``).
+
+        Samples are guaranteed non-negative.
+        """
+
+    # -- rescaling -------------------------------------------------------
+    @abc.abstractmethod
+    def with_mean(self, mean: float) -> "Distribution":
+        """A law of the same family/shape with expectation ``mean``."""
+
+    # -- quantiles ---------------------------------------------------------
+    def quantile(self, q):
+        """Quantile function ``F⁻¹(q)`` (vectorized over ``q``).
+
+        Powers the comonotone coupling used by the stochastic-comparison
+        experiments (Theorems 5/6): evaluating several laws on *shared*
+        uniforms yields pointwise-ordered samples whenever the laws are
+        ``≤st``-ordered. Level validation happens here; subclasses
+        implement :meth:`_quantile` (closed forms where available, the
+        numeric bisection on :meth:`_cdf` otherwise).
+        """
+        q = np.asarray(q, dtype=float)
+        if ((q < 0) | (q > 1)).any():
+            raise InvalidDistributionError("quantile levels must be in [0, 1]")
+        return self._quantile(q)
+
+    def _quantile(self, q):
+        return self._quantile_by_bisection(q)
+
+    def _cdf(self, x):  # pragma: no cover - overridden where needed
+        raise NotImplementedError(
+            f"{type(self).__name__} provides neither quantile() nor _cdf()"
+        )
+
+    def _quantile_by_bisection(self, q, *, iterations: int = 80):
+        q = np.atleast_1d(np.asarray(q, dtype=float))
+        hi = np.full_like(q, max(self.mean, 1e-12))
+        # Grow the bracket until the CDF exceeds every requested level.
+        for _ in range(200):
+            mask = self._cdf(hi) < q
+            if not mask.any():
+                break
+            hi[mask] *= 2.0
+        lo = np.zeros_like(q)
+        for _ in range(iterations):
+            mid = 0.5 * (lo + hi)
+            below = self._cdf(mid) < q
+            lo = np.where(below, mid, lo)
+            hi = np.where(below, hi, mid)
+        out = 0.5 * (lo + hi)
+        return out if out.size > 1 else float(out[0])
+
+    # -- helpers ---------------------------------------------------------
+    @staticmethod
+    def _check_positive(value: float, what: str) -> float:
+        value = float(value)
+        if not value > 0 or not np.isfinite(value):
+            raise InvalidDistributionError(f"{what} must be finite and > 0, got {value}")
+        return value
+
+    @staticmethod
+    def _check_non_negative(value: float, what: str) -> float:
+        value = float(value)
+        if value < 0 or not np.isfinite(value):
+            raise InvalidDistributionError(f"{what} must be finite and >= 0, got {value}")
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(mean={self.mean:g})"

@@ -1,0 +1,54 @@
+"""Constant (deterministic) operation times — the paper's static case."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions.base import Distribution
+
+
+class Deterministic(Distribution):
+    """The constant law ``X = value`` almost surely.
+
+    Deterministic times are N.B.U.E. (``E[X - t | X > t] = value - t
+    <= value``), and by Theorem 7 they yield the *upper* bound on the
+    throughput among all N.B.U.E. laws with the same mean.
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: float) -> None:
+        self._value = self._check_non_negative(value, "deterministic value")
+
+    @property
+    def name(self) -> str:
+        return "deterministic"
+
+    @property
+    def mean(self) -> float:
+        return self._value
+
+    @property
+    def variance(self) -> float:
+        return 0.0
+
+    @property
+    def is_nbue(self) -> bool:
+        return True
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        if size is None:
+            return self._value
+        return np.full(size, self._value)
+
+    def with_mean(self, mean: float) -> "Deterministic":
+        return Deterministic(mean)
+
+    def _quantile(self, q):
+        from repro.exceptions import InvalidDistributionError
+
+        q = np.asarray(q, dtype=float)
+        if ((q < 0) | (q > 1)).any():
+            raise InvalidDistributionError("quantile levels must be in [0, 1]")
+        out = np.full_like(q, self._value)
+        return out if out.size > 1 else float(self._value)

@@ -1,0 +1,60 @@
+"""Exponential operation times — the paper's fully solvable random case."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions.base import Distribution
+
+
+class Exponential(Distribution):
+    """The exponential law with rate ``λ = 1 / mean``.
+
+    ``Pr(X > t) = exp(-λ t)``. Exponential variables are the *extreme*
+    N.B.U.E. case (memoryless: ``E[X - t | X > t] = E[X]``), and by
+    Theorem 7 they yield the lower bound on the throughput among all
+    N.B.U.E. laws with the same mean.
+    """
+
+    __slots__ = ("_mean",)
+
+    def __init__(self, mean: float) -> None:
+        self._mean = self._check_positive(mean, "exponential mean")
+
+    @classmethod
+    def from_rate(cls, rate: float) -> "Exponential":
+        """Build from the rate ``λ`` rather than the mean ``1/λ``."""
+        return cls(1.0 / cls._check_positive(rate, "exponential rate"))
+
+    @property
+    def name(self) -> str:
+        return "exponential"
+
+    @property
+    def rate(self) -> float:
+        """Rate ``λ = 1 / E[X]``."""
+        return 1.0 / self._mean
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        return self._mean * self._mean
+
+    @property
+    def is_nbue(self) -> bool:
+        return True
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        return rng.exponential(self._mean, size=size)
+
+    def with_mean(self, mean: float) -> "Exponential":
+        return Exponential(mean)
+
+    def _quantile(self, q):
+        q = np.asarray(q, dtype=float)
+        with np.errstate(divide="ignore"):
+            out = -self._mean * np.log1p(-q)
+        return out if out.size > 1 else float(out)

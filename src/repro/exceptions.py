@@ -1,0 +1,64 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything coming out of the library with a single ``except`` clause
+while still being able to discriminate configuration errors from numerical
+failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the library."""
+
+
+class InvalidApplicationError(ReproError):
+    """The linear-chain application description is inconsistent."""
+
+
+class InvalidPlatformError(ReproError):
+    """The platform description (processors/links) is inconsistent."""
+
+
+class InvalidMappingError(ReproError):
+    """The stage-to-processor mapping violates the paper's rules.
+
+    The rules are: every stage is mapped on at least one processor, a
+    processor executes at most one stage, and team members must be valid
+    processor indices.
+    """
+
+
+class InvalidDistributionError(ReproError):
+    """A probability law was built with invalid parameters."""
+
+
+class StructuralError(ReproError):
+    """A timed Petri net violates a structural assumption.
+
+    Raised, e.g., when a net claimed to be an event graph has a place with
+    several input or output transitions, or when an algorithm requiring
+    strong connectivity receives a net without it.
+    """
+
+
+class StateSpaceLimitError(ReproError):
+    """A state-space construction exceeded the configured limit.
+
+    The exact exponential-case methods enumerate reachable markings of a
+    timed Petri net; this error reports the limit so callers can either
+    raise it or switch to the polynomial decomposition / simulation paths.
+    """
+
+    def __init__(self, limit: int, message: str | None = None) -> None:
+        self.limit = limit
+        super().__init__(message or f"state-space limit exceeded ({limit} states)")
+
+
+class ConvergenceError(ReproError):
+    """An iterative numerical method failed to converge."""
+
+
+class UnsupportedModelError(ReproError):
+    """The requested computation is undefined for the given execution model."""

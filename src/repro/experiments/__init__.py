@@ -1,0 +1,49 @@
+"""Reproduction of every table and figure of the paper's Section 7.
+
+Each module exposes ``run(config) -> ExperimentResult``; the CLI
+(``python -m repro.cli``) and the ``benchmarks/`` harness drive them.
+Default configurations match the paper's parameters; every module also
+accepts a scaled-down configuration so the benchmark suite stays fast.
+"""
+
+from repro.experiments.common import ExperimentResult, Row
+from repro.experiments import (
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    table1,
+    timing,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "Row",
+    "table1",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "timing",
+]
+
+ALL_EXPERIMENTS = {
+    "table1": table1,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "fig13": fig13,
+    "fig14": fig14,
+    "fig15": fig15,
+    "fig16": fig16,
+    "fig17": fig17,
+    "timing": timing,
+}

@@ -1,0 +1,54 @@
+"""Shared experiment plumbing: result records and ASCII rendering."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+
+#: One row of an experiment: column name → value.
+Row = Mapping[str, object]
+
+
+@dataclass
+class ExperimentResult:
+    """Self-describing experiment output (the paper's table/series rows)."""
+
+    name: str
+    description: str
+    columns: Sequence[str]
+    rows: list[Row] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, **values: object) -> None:
+        self.rows.append(values)
+
+    def column(self, key: str) -> list:
+        """Extract one column across all rows."""
+        return [r[key] for r in self.rows]
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """ASCII table, one line per row — the paper's rows, regenerated."""
+        def fmt(v: object) -> str:
+            if isinstance(v, float):
+                return f"{v:.6g}"
+            return str(v)
+
+        cells = [[fmt(r.get(c, "")) for c in self.columns] for r in self.rows]
+        widths = [
+            max(len(c), *(len(row[i]) for row in cells)) if cells else len(c)
+            for i, c in enumerate(self.columns)
+        ]
+        lines = [f"# {self.name}: {self.description}"]
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in cells:
+            lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()

@@ -1,0 +1,97 @@
+"""Figure 10 — throughput vs number of processed data sets.
+
+System: a 7-stage pipeline replicated (1, 3, 4, 5, 6, 7, 1) on a
+homogeneous platform. Four measured series (constant / exponential times ×
+system-simulator / event-graph-simulator) plus the theoretical constant
+value. Expected shape: every series converges to its theoretical value —
+within 1 % by 50 000 data sets — and the exponential and constant curves
+stay close to each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.application.chain import Application
+from repro.core import overlap_throughput
+from repro.experiments.common import ExperimentResult
+from repro.mapping.mapping import Mapping
+from repro.petri import build_overlap_tpn
+from repro.platform.topology import Platform
+from repro.sim.system_sim import simulate_system
+from repro.sim.tpn_sim import simulate_tpn
+
+
+def paper_system(
+    *, work: float = 10.0, file_size: float = 10.0
+) -> Mapping:
+    """The 7-stage system of Figs. 10/11, replicated (1,3,4,5,6,7,1)."""
+    reps = [1, 3, 4, 5, 6, 7, 1]
+    app = Application.uniform(len(reps), work, file_size)
+    plat = Platform.homogeneous(sum(reps), 1.0, 1.0)
+    teams, k = [], 0
+    for r in reps:
+        teams.append(list(range(k, k + r)))
+        k += r
+    return Mapping(app, plat, teams)
+
+
+@dataclass
+class Fig10Config:
+    dataset_counts: list[int] = field(
+        default_factory=lambda: [100, 500, 1000, 5000, 10_000, 25_000, 50_000]
+    )
+    seed: int = 10
+    tpn_max_datasets: int = 10_000  # event-graph sim is slower; cap it
+
+
+def run(config: Fig10Config | None = None) -> ExperimentResult:
+    config = config or Fig10Config()
+    mp = paper_system()
+    result = ExperimentResult(
+        name="fig10",
+        description="throughput vs number of processed data sets",
+        columns=[
+            "n_datasets",
+            "cst_theory",
+            "cst_system",
+            "exp_system",
+            "cst_tpn",
+            "exp_tpn",
+            "exp_theory",
+        ],
+    )
+    cst_theory = overlap_throughput(mp, "deterministic")
+    exp_theory = overlap_throughput(mp, "exponential")
+    n_max = max(config.dataset_counts)
+    sim_cst = simulate_system(
+        mp, "overlap", n_datasets=n_max, law="deterministic", seed=config.seed
+    )
+    sim_exp = simulate_system(
+        mp, "overlap", n_datasets=n_max, law="exponential", seed=config.seed
+    )
+    tpn = build_overlap_tpn(mp)
+    n_tpn = min(n_max, config.tpn_max_datasets)
+    tpn_cst = simulate_tpn(
+        tpn, n_datasets=n_tpn, law="deterministic", seed=config.seed
+    )
+    tpn_exp = simulate_tpn(
+        tpn, n_datasets=n_tpn, law="exponential", seed=config.seed
+    )
+    for k in config.dataset_counts:
+        result.add(
+            n_datasets=k,
+            cst_theory=cst_theory,
+            cst_system=sim_cst.throughput_after(k),
+            exp_system=sim_exp.throughput_after(k),
+            cst_tpn=tpn_cst.throughput_after(min(k, n_tpn)),
+            exp_tpn=tpn_exp.throughput_after(min(k, n_tpn)),
+            exp_theory=exp_theory,
+        )
+    result.notes.append(
+        "paper: all series converge to the theoretical value; the "
+        "exponential/constant difference is small; <1% error at 50k tasks"
+    )
+    return result

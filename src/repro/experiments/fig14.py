@@ -1,0 +1,123 @@
+"""Figure 14 — single communication over a heterogeneous network.
+
+The paper draws each link's mean transfer time uniformly in [100, 1000]
+and reports all series (constant theory, constant simulations from both
+engines, exponential simulations) within ≈2 % of each other: "due to the
+round-robin distribution, a single link limits all communications, and
+the behaviour tends to the behaviour of a communication through a single
+link".
+
+Our exact evaluators let us quantify that mechanism precisely, so this
+driver reports two regimes:
+
+* ``uniform`` — the paper's draw (means uniform over a 10× range). The
+  exponential/constant ratio *rises* towards 1 compared to the
+  homogeneous case (0.75 → ≈0.82 for a 2×3 pattern) but does not reach
+  the 2 % band for typical draws;
+* ``dominant`` — one link 30× slower than the rest, the limit the paper's
+  explanation describes: there the exponential and constant throughputs
+  agree within ≈1 %, exactly as claimed.
+
+EXPERIMENTS.md discusses the partial divergence on the uniform draw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import overlap_throughput
+from repro.experiments.common import ExperimentResult
+from repro.mapping.examples import single_communication
+from repro.petri import build_overlap_tpn
+from repro.sim.system_sim import simulate_system
+from repro.sim.tpn_sim import simulate_tpn
+
+
+@dataclass
+class Fig14Config:
+    sides: list[tuple[int, int]] = field(
+        default_factory=lambda: [(k, k + 1) for k in range(2, 8)]
+    )
+    time_range: tuple[float, float] = (100.0, 1000.0)
+    dominance: float = 30.0  # slow-link factor of the 'dominant' regime
+    n_datasets: int = 10_000
+    tpn_datasets: int = 5_000
+    seed: int = 14
+    #: The exact heterogeneous pattern CTMC has S(u, v) states; disable
+    #: for large sides or scaled-down benchmark runs.
+    include_exp_theory: bool = True
+
+
+def _link_times(
+    mode: str, u: int, v: int, config: Fig14Config, rng: np.random.Generator
+) -> np.ndarray:
+    n = u + v
+    lo, hi = config.time_range
+    if mode == "uniform":
+        return rng.uniform(lo, hi, size=(n, n))
+    times = np.full((n, n), lo)
+    # One dominant slow link between the first sender/receiver pair.
+    times[0, u] = lo * config.dominance
+    return times
+
+
+def run(config: Fig14Config | None = None) -> ExperimentResult:
+    config = config or Fig14Config()
+    rng = np.random.default_rng(config.seed)
+    result = ExperimentResult(
+        name="fig14",
+        description="heterogeneous network: cst/exp sims vs cst theory "
+        "(normalized by the constant theory)",
+        columns=[
+            "mode",
+            "u",
+            "v",
+            "cst_system",
+            "cst_tpn",
+            "exp_system",
+            "exp_theory",
+        ],
+    )
+    for mode in ("uniform", "dominant"):
+        for u, v in config.sides:
+            times = _link_times(mode, u, v, config, rng)
+            mp = single_communication(u, v, bandwidths=1.0 / times)
+            cst_theory = overlap_throughput(mp, "deterministic")
+            if config.include_exp_theory:
+                exp_theory = overlap_throughput(
+                    mp, "exponential", max_states=300_000
+                )
+            else:
+                exp_theory = float("nan")
+            sim_cst = simulate_system(
+                mp, "overlap", n_datasets=config.n_datasets,
+                law="deterministic", seed=config.seed,
+            ).steady_state_throughput()
+            sim_exp = simulate_system(
+                mp, "overlap", n_datasets=config.n_datasets,
+                law="exponential", seed=config.seed,
+            ).steady_state_throughput()
+            tpn_cst = simulate_tpn(
+                build_overlap_tpn(mp), n_datasets=config.tpn_datasets,
+                law="deterministic", seed=config.seed,
+            ).steady_state_throughput()
+            result.add(
+                mode=mode,
+                u=u,
+                v=v,
+                cst_system=sim_cst / cst_theory,
+                cst_tpn=tpn_cst / cst_theory,
+                exp_system=sim_exp / cst_theory,
+                exp_theory=exp_theory / cst_theory
+                if config.include_exp_theory
+                else float("nan"),
+            )
+    result.notes.append(
+        "paper: all values within ~2% of the constant case. Reproduced "
+        "exactly in the 'dominant' regime; the 'uniform' draw narrows the "
+        "exp/cst gap (vs homogeneous) without closing it — see "
+        "EXPERIMENTS.md"
+    )
+    return result

@@ -1,0 +1,32 @@
+"""One-to-many mappings of a chain onto a platform (paper Section 2.2)."""
+
+from repro.mapping.mapping import Mapping
+from repro.mapping.roundrobin import lcm_all, path_of_row, all_paths
+from repro.mapping.resources import ResourceCycleTimes, cycle_times, max_cycle_time
+from repro.mapping.generators import random_mapping, random_replication
+from repro.mapping.examples import example_a, example_c, single_communication
+from repro.mapping.heuristics import (
+    SearchResult,
+    balanced_replication,
+    greedy_hill_climb,
+    random_restart_search,
+)
+
+__all__ = [
+    "Mapping",
+    "lcm_all",
+    "path_of_row",
+    "all_paths",
+    "ResourceCycleTimes",
+    "cycle_times",
+    "max_cycle_time",
+    "random_mapping",
+    "random_replication",
+    "example_a",
+    "example_c",
+    "single_communication",
+    "SearchResult",
+    "balanced_replication",
+    "greedy_hill_climb",
+    "random_restart_search",
+]

@@ -1,0 +1,104 @@
+"""The paper's running examples as ready-made fixtures.
+
+* **Example A** (Fig. 1): a 4-stage pipeline on a 7-processor platform,
+  teams of sizes (1, 2, 3, 1), hence ``m = lcm(1,2,3,1) = 6`` paths. The
+  figure's numeric speed/bandwidth labels are not recoverable from the
+  published text (the PDF extraction scrambles them), so this fixture uses
+  fixed representative heterogeneous values; the *structural* facts of the
+  paper (6 paths, TPN shape, component structure) are exactly preserved and
+  asserted in the test suite.
+* **Example C** (Fig. 6/7): stages replicated on (5, 21, 27, 11)
+  processors. Its second communication has ``gcd(21, 27) = 3`` connected
+  components, each made of 55 copies of a ``7 × 9`` pattern — the paper's
+  showcase for the Young-diagram state-space count.
+* :func:`single_communication` builds the two-stage, communication-bound
+  system used throughout Section 7 (Figs. 13–17): ``u`` senders, ``v``
+  receivers, negligible computations, a single costly communication.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.application.chain import Application
+from repro.mapping.mapping import Mapping
+from repro.platform.topology import Platform
+
+
+def example_a() -> Mapping:
+    """Example A of the paper (Fig. 1): 4 stages on 7 processors.
+
+    Teams: ``T1 → {P0}``, ``T2 → {P1, P2}``, ``T3 → {P3, P4, P5}``,
+    ``T4 → {P6}`` (0-based processor indices), giving the 6 round-robin
+    paths listed in Section 3.1.
+
+    The numeric labels of the paper's Fig. 1 are not recoverable from the
+    published text, so this fixture uses fixed heterogeneous values chosen
+    (by seeded search) to reproduce the paper's qualitative findings: the
+    Overlap model has a critical resource, while the Strict period
+    strictly exceeds every resource cycle-time (Section 4.2's
+    "no critical resource" phenomenon; the paper reports
+    P = 230.7 > Mct = 215.8 on its own values).
+    """
+    # Seed 65 of the uniform draw below yields a ~2% Strict gap.
+    rng = np.random.default_rng(65)  # fixed: fixture must be deterministic
+    app = Application.from_work(
+        rng.uniform(50.0, 200.0, 4).tolist(),
+        rng.uniform(50.0, 200.0, 3).tolist(),
+    )
+    speeds = rng.uniform(0.8, 1.4, 7)
+    bw = rng.uniform(0.8, 1.4, size=(7, 7))
+    bw = np.triu(bw, 1)
+    bw = bw + bw.T + np.eye(7)
+    platform = Platform.from_speeds(speeds.tolist(), bw)
+    return Mapping(app, platform, teams=[[0], [1, 2], [3, 4, 5], [6]])
+
+
+def example_c(
+    *, work: float = 100.0, file_size: float = 50.0, speed: float = 1.0,
+    bandwidth: float = 1.0,
+) -> Mapping:
+    """Example C of the paper: stages replicated on (5, 21, 27, 11).
+
+    Uses a homogeneous platform by default (the paper's figure only uses
+    the replication structure). The full unrolling has
+    ``m = lcm(5, 21, 27, 11) = 10395`` rows, so only the symbolic /
+    decomposition methods should be applied to it.
+    """
+    reps = [5, 21, 27, 11]
+    app = Application.uniform(4, work, file_size)
+    platform = Platform.homogeneous(sum(reps), speed, bandwidth)
+    teams, k = [], 0
+    for r in reps:
+        teams.append(list(range(k, k + r)))
+        k += r
+    return Mapping(app, platform, teams)
+
+
+def single_communication(
+    u: int,
+    v: int,
+    *,
+    comm_time: float = 1.0,
+    compute_time: float = 1e-6,
+    bandwidths: np.ndarray | None = None,
+) -> Mapping:
+    """A two-stage system dominated by one communication (Section 7.4).
+
+    ``u`` senders (stage 1) and ``v`` receivers (stage 2), computations of
+    negligible duration ``compute_time``, and a single file whose transfer
+    takes ``comm_time`` on every link — or heterogeneous times when a
+    ``(u+v) × (u+v)`` bandwidth matrix is given (entries are bandwidths for
+    a file of size 1, i.e. transfer time from ``p`` to ``q`` is
+    ``1 / bandwidths[p, q]``).
+    """
+    app = Application.from_work(
+        [compute_time, compute_time], files=[1.0]
+    )
+    n = u + v
+    if bandwidths is None:
+        bw = np.full((n, n), 1.0 / comm_time)
+    else:
+        bw = np.asarray(bandwidths, dtype=float)
+    platform = Platform.from_speeds([1.0] * n, bw)
+    return Mapping(app, platform, teams=[list(range(u)), list(range(u, n))])

@@ -1,0 +1,73 @@
+"""Random mapping generators for the experimental campaigns (Table 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.application.chain import Application
+from repro.exceptions import InvalidMappingError
+from repro.mapping.mapping import Mapping
+from repro.platform.topology import Platform
+
+
+def random_replication(
+    n_stages: int,
+    n_processors: int,
+    rng: np.random.Generator,
+    *,
+    max_replication: int | None = None,
+) -> list[int]:
+    """Draw a replication vector ``(R_1, …, R_N)`` with ``ΣR_i <= M``.
+
+    Every stage gets at least one processor; the remaining processors are
+    spread uniformly at random (bounded by ``max_replication`` per stage
+    when given). Raises when ``n_processors < n_stages``.
+    """
+    if n_processors < n_stages:
+        raise InvalidMappingError(
+            f"need at least one processor per stage: M={n_processors} < N={n_stages}"
+        )
+    reps = [1] * n_stages
+    spare = n_processors - n_stages
+    cap = max_replication if max_replication is not None else n_processors
+    # Leave some processors unused with positive probability, like the
+    # paper's campaigns where ΣR_i need not equal M.
+    extra = int(rng.integers(0, spare + 1))
+    for _ in range(extra):
+        candidates = [i for i in range(n_stages) if reps[i] < cap]
+        if not candidates:
+            break
+        reps[int(rng.choice(candidates))] += 1
+    return reps
+
+
+def random_mapping(
+    application: Application,
+    platform: Platform,
+    rng: np.random.Generator,
+    *,
+    replication: list[int] | None = None,
+    max_replication: int | None = None,
+) -> Mapping:
+    """Draw a one-to-many mapping with random teams.
+
+    Processors are permuted uniformly and dealt to stages according to the
+    replication vector (drawn by :func:`random_replication` when absent).
+    """
+    n, m = application.n_stages, platform.n_processors
+    reps = (
+        list(replication)
+        if replication is not None
+        else random_replication(n, m, rng, max_replication=max_replication)
+    )
+    if len(reps) != n:
+        raise InvalidMappingError(f"replication vector length {len(reps)} != N={n}")
+    if sum(reps) > m:
+        raise InvalidMappingError(f"ΣR_i = {sum(reps)} exceeds M = {m}")
+    perm = rng.permutation(m).tolist()
+    teams: list[list[int]] = []
+    k = 0
+    for r in reps:
+        teams.append(perm[k : k + r])
+        k += r
+    return Mapping(application, platform, teams)

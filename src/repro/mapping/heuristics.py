@@ -1,0 +1,164 @@
+"""Mapping heuristics scored by the exact throughput evaluators.
+
+The paper's conclusion (Section 8) motivates exactly this layer: the
+mapping-optimization problem is NP-complete even deterministically [3],
+but with the Sections 4-5 evaluators one can *score* candidate mappings
+exactly and compare heuristics fairly. This module provides:
+
+* :func:`balanced_replication` — a work-proportional replication baseline
+  (heavier stages get more processors, fastest processors first);
+* :func:`greedy_hill_climb` — local search over grow/swap moves;
+* :func:`random_restart_search` — the classic multi-start wrapper.
+
+All heuristics take a ``mode`` (``"deterministic"`` or ``"exponential"``):
+scoring by the exponential evaluator optimizes the Theorem 7 *floor*,
+i.e. the throughput guaranteed under any N.B.U.E. variability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.application.chain import Application
+from repro.core.components import overlap_throughput
+from repro.exceptions import InvalidMappingError
+from repro.mapping.generators import random_mapping
+from repro.mapping.mapping import Mapping
+from repro.platform.topology import Platform
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Best mapping found and its score."""
+
+    mapping: Mapping
+    throughput: float
+    evaluations: int
+
+
+def _score(mapping: Mapping, mode: str, max_states: int) -> float:
+    return overlap_throughput(mapping, mode, max_states=max_states)
+
+
+def balanced_replication(
+    application: Application,
+    platform: Platform,
+    *,
+    mode: str = "deterministic",
+    max_states: int = 200_000,
+) -> SearchResult:
+    """Work-proportional baseline.
+
+    Replication budget per stage proportional to ``w_i`` (at least 1,
+    total ≤ M); the fastest processors are dealt to the heaviest stages.
+    A sensible baseline for the search heuristics to beat (or match).
+    """
+    n, m = application.n_stages, platform.n_processors
+    if m < n:
+        raise InvalidMappingError(f"need M >= N, got M={m} N={n}")
+    work = application.works
+    reps = np.maximum(1, np.floor(work / work.sum() * m).astype(int))
+    # Trim overshoot from the least-loaded stages.
+    while reps.sum() > m:
+        reps[int(np.argmin(work / reps))] -= 1
+    # Deal fastest processors to the stages with the highest per-replica load.
+    order = np.argsort(-platform.speeds)  # fastest first
+    stage_order = np.argsort(-(work / reps))
+    teams: list[list[int]] = [[] for _ in range(n)]
+    cursor = 0
+    for s in stage_order:
+        teams[int(s)] = [int(p) for p in order[cursor : cursor + reps[s]]]
+        cursor += int(reps[s])
+    mapping = Mapping(application, platform, teams)
+    return SearchResult(mapping, _score(mapping, mode, max_states), 1)
+
+
+def _neighbours(mapping: Mapping, rng: np.random.Generator) -> list[Mapping]:
+    """Grow-with-idle and swap moves around a mapping."""
+    out: list[Mapping] = []
+    used = set(mapping.used_processors)
+    idle = [p for p in range(mapping.platform.n_processors) if p not in used]
+    teams = [list(t) for t in mapping.teams]
+    for i in range(len(teams)):
+        for p in idle[:3]:
+            grown = [list(t) for t in teams]
+            grown[i].append(p)
+            out.append(Mapping(mapping.application, mapping.platform, grown))
+    for _ in range(8):
+        i, j = (int(x) for x in rng.integers(len(teams), size=2))
+        if i == j:
+            continue
+        a = int(rng.integers(len(teams[i])))
+        b = int(rng.integers(len(teams[j])))
+        swapped = [list(t) for t in teams]
+        swapped[i][a], swapped[j][b] = swapped[j][b], swapped[i][a]
+        out.append(Mapping(mapping.application, mapping.platform, swapped))
+    return out
+
+
+def greedy_hill_climb(
+    application: Application,
+    platform: Platform,
+    *,
+    mode: str = "deterministic",
+    seed: int = 0,
+    max_steps: int = 60,
+    start: Mapping | None = None,
+    max_states: int = 200_000,
+) -> SearchResult:
+    """First-improvement local search from a random (or given) start."""
+    rng = np.random.default_rng(seed)
+    current = (
+        start
+        if start is not None
+        else random_mapping(application, platform, rng, max_replication=4)
+    )
+    best = _score(current, mode, max_states)
+    evals = 1
+    for _ in range(max_steps):
+        improved = False
+        for cand in _neighbours(current, rng):
+            rho = _score(cand, mode, max_states)
+            evals += 1
+            if rho > best * (1 + 1e-12):
+                current, best = cand, rho
+                improved = True
+                break
+        if not improved:
+            break
+    return SearchResult(current, best, evals)
+
+
+def random_restart_search(
+    application: Application,
+    platform: Platform,
+    *,
+    mode: str = "deterministic",
+    n_restarts: int = 5,
+    seed: int = 0,
+    max_states: int = 200_000,
+) -> SearchResult:
+    """Multi-start hill climbing; also seeds one run from the baseline."""
+    best: SearchResult | None = None
+    evals = 0
+    baseline = balanced_replication(
+        application, platform, mode=mode, max_states=max_states
+    )
+    evals += baseline.evaluations
+    seeds: list[Mapping | None] = [baseline.mapping] + [None] * n_restarts
+    for k, start in enumerate(seeds):
+        result = greedy_hill_climb(
+            application,
+            platform,
+            mode=mode,
+            seed=seed + k,
+            start=start,
+            max_states=max_states,
+        )
+        evals += result.evaluations
+        if best is None or result.throughput > best.throughput:
+            best = result
+    assert best is not None
+    return SearchResult(best.mapping, best.throughput, evals)

@@ -1,0 +1,208 @@
+"""The one-to-many mapping model (paper Section 2.2).
+
+A :class:`Mapping` assigns every stage ``T_i`` to an ordered *team* of
+processors. The paper's two structural rules are enforced at construction:
+
+* a processor executes **at most one** stage (one-to-many mapping);
+* the members of a team serve successive data sets in **round-robin**
+  order (the order of the team tuple is the round-robin order).
+
+The mapping fully determines the deterministic computation time
+``c_p = w_i / s_p`` of each processor and the communication time
+``d_{p,q} = δ_i / b_{p,q}`` of each file transfer, which are the base
+quantities of every throughput computation in the library.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from functools import cached_property
+import math
+
+from repro.application.chain import Application
+from repro.exceptions import InvalidMappingError
+from repro.mapping.roundrobin import all_paths, lcm_all, path_of_row
+from repro.platform.topology import Platform
+
+
+class Mapping:
+    """A validated one-to-many mapping of an application onto a platform."""
+
+    def __init__(
+        self,
+        application: Application,
+        platform: Platform,
+        teams: Sequence[Sequence[int]],
+    ) -> None:
+        self.application = application
+        self.platform = platform
+        self.teams: tuple[tuple[int, ...], ...] = tuple(
+            tuple(int(p) for p in team) for team in teams
+        )
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        n, m = self.application.n_stages, self.platform.n_processors
+        if len(self.teams) != n:
+            raise InvalidMappingError(
+                f"expected {n} teams (one per stage), got {len(self.teams)}"
+            )
+        seen: dict[int, int] = {}
+        for i, team in enumerate(self.teams):
+            if not team:
+                raise InvalidMappingError(f"stage {i} has an empty team")
+            if len(set(team)) != len(team):
+                raise InvalidMappingError(f"stage {i} team has duplicates: {team}")
+            for p in team:
+                if not 0 <= p < m:
+                    raise InvalidMappingError(
+                        f"stage {i} references processor {p} outside 0..{m - 1}"
+                    )
+                if p in seen:
+                    raise InvalidMappingError(
+                        f"processor {p} is assigned to both stage {seen[p]} "
+                        f"and stage {i}; a processor executes at most one stage"
+                    )
+                seen[p] = i
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def n_stages(self) -> int:
+        return self.application.n_stages
+
+    @cached_property
+    def replication(self) -> tuple[int, ...]:
+        """Replication vector ``(R_1, …, R_N)`` — team sizes."""
+        return tuple(len(t) for t in self.teams)
+
+    @cached_property
+    def n_rows(self) -> int:
+        """Number of distinct paths ``m = lcm(R_1, …, R_N)`` (Prop. 1)."""
+        return lcm_all(self.replication)
+
+    @cached_property
+    def used_processors(self) -> tuple[int, ...]:
+        """All processors participating in the mapping, sorted."""
+        return tuple(sorted(p for team in self.teams for p in team))
+
+    def stage_of(self, proc: int) -> int:
+        """Stage index executed by ``proc`` (raises if unused)."""
+        for i, team in enumerate(self.teams):
+            if proc in team:
+                return i
+        raise InvalidMappingError(f"processor {proc} is not used by the mapping")
+
+    def processor(self, stage: int, row: int) -> int:
+        """Processor executing stage ``stage`` of path ``row`` (0-based)."""
+        team = self.teams[stage]
+        return team[row % len(team)]
+
+    def rows_of(self, stage: int, proc: int) -> list[int]:
+        """Rows (paths) of the full ``m``-row unrolling served by ``proc``.
+
+        These are the rows ``j ≡ idx (mod R_i)`` where ``idx`` is the
+        processor's position in its team, in increasing order — the
+        round-robin firing order of the processor's transitions in the
+        timed Petri net.
+        """
+        team = self.teams[stage]
+        idx = team.index(proc)
+        r = len(team)
+        return list(range(idx, self.n_rows, r))
+
+    def path(self, row: int) -> tuple[int, ...]:
+        """Path followed by data sets ``row, row + m, row + 2m, …``."""
+        return path_of_row(self.teams, row)
+
+    def paths(self) -> list[tuple[int, ...]]:
+        """All ``m`` distinct paths (Proposition 1)."""
+        return all_paths(self.teams)
+
+    def senders_to(self, stage: int, proc: int) -> list[int]:
+        """Distinct stage-``stage - 1`` processors sending to ``proc``.
+
+        Follows from the round-robin interleaving: ``proc`` (position
+        ``a`` in a team of size ``r``) receives from the stage-``stage-1``
+        processors at positions ``≡ a (mod gcd(r, r'))``.
+        """
+        if stage == 0:
+            return []
+        return sorted(
+            {
+                self.processor(stage - 1, j)
+                for j in self.rows_of(stage, proc)
+            }
+        )
+
+    def receivers_from(self, stage: int, proc: int) -> list[int]:
+        """Distinct stage-``stage + 1`` processors receiving from ``proc``."""
+        if stage == self.n_stages - 1:
+            return []
+        return sorted(
+            {
+                self.processor(stage + 1, j)
+                for j in self.rows_of(stage, proc)
+            }
+        )
+
+    def comm_component_count(self, stage: int) -> int:
+        """Number of connected components of communication ``F_{stage+1}``.
+
+        Equal to ``gcd(R_i, R_{i+1})`` (paper Section 5.2).
+        """
+        return math.gcd(self.replication[stage], self.replication[stage + 1])
+
+    # ------------------------------------------------------------------
+    # Deterministic times (means of the random versions)
+    # ------------------------------------------------------------------
+    def compute_time(self, stage: int, proc: int) -> float:
+        """Mean computation time ``c_p = w_i / s_p``."""
+        return self.platform.compute_time(self.application[stage].work, proc)
+
+    def comm_time(self, stage: int, sender: int, receiver: int) -> float:
+        """Mean transfer time of file ``F_{stage+1}``: ``δ_i / b_{p,q}``."""
+        return self.platform.transfer_time(
+            self.application.file_size(stage), sender, receiver
+        )
+
+    def compute_rate(self, stage: int, proc: int) -> float:
+        """Rate ``λ = 1 / c_p`` of the exponential computation law."""
+        t = self.compute_time(stage, proc)
+        if t == 0.0:
+            return math.inf
+        return 1.0 / t
+
+    def comm_rate(self, stage: int, sender: int, receiver: int) -> float:
+        """Rate ``λ = 1 / d_{p,q}`` of the exponential communication law."""
+        t = self.comm_time(stage, sender, receiver)
+        if t == 0.0:
+            return math.inf
+        return 1.0 / t
+
+    # ------------------------------------------------------------------
+    # Dunder
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return f"Mapping(N={self.n_stages}, R={self.replication}, m={self.n_rows})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Mapping)
+            and self.teams == other.teams
+            and self.application == other.application
+            and self.platform is other.platform
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.platform), self.application, self.teams))
+
+    def iter_stage_procs(self) -> Iterator[tuple[int, int]]:
+        """Yield ``(stage, proc)`` for every assignment."""
+        for i, team in enumerate(self.teams):
+            for p in team:
+                yield i, p

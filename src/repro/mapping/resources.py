@@ -1,0 +1,122 @@
+"""Per-resource cycle-times and the ``Mct`` period lower bound (Section 2.3).
+
+For each processor ``P_p`` executing stage ``T_i`` the paper defines a
+reception time ``C_in(p)``, a computation time ``C_comp(p)`` and a
+transmission time ``C_out(p)``, all *per global data set* (a replicated
+processor only touches one data set out of ``R_i``). The resource cycle
+time is::
+
+    Overlap:  C_exec(p) = max(C_in(p), C_comp(p), C_out(p))
+    Strict:   C_exec(p) = C_in(p) + C_comp(p) + C_out(p)
+
+and ``Mct = max_p C_exec(p)`` is a lower bound for the period
+``P = 1/ρ``. A mapping has a *critical resource* when the bound is tight;
+the surprising fact studied by the paper (and Table 1) is that replication
+can make the bound strict.
+
+Two conventions are provided for ``C_comp``:
+
+* ``use_slowest_teammate=False`` (default) — utilization bound
+  ``C_comp(p) = w_i / (R_i · s_p)``: the processor's own busy time per
+  global data set. This is always a valid lower bound on the period, for
+  both models.
+* ``use_slowest_teammate=True`` — the paper's Section 2.2 convention
+  ``C_comp(p) = w_i / (R_i · s_slow)`` where ``s_slow`` is the slowest
+  speed in the team, reflecting the in-order round-robin coupling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mapping.mapping import Mapping
+from repro.types import ExecutionModel
+
+
+@dataclass(frozen=True, slots=True)
+class ResourceCycleTimes:
+    """Cycle-time decomposition of one processor (per global data set)."""
+
+    proc: int
+    stage: int
+    c_in: float
+    c_comp: float
+    c_out: float
+
+    def exec_time(self, model: ExecutionModel) -> float:
+        """``C_exec`` under the given execution model."""
+        if model is ExecutionModel.OVERLAP:
+            return max(self.c_in, self.c_comp, self.c_out)
+        return self.c_in + self.c_comp + self.c_out
+
+
+def _mean_comm_in(mapping: Mapping, stage: int, proc: int) -> float:
+    """Average reception time of ``proc`` over its round-robin senders."""
+    if stage == 0:
+        return 0.0
+    senders = mapping.senders_to(stage, proc)
+    times = [mapping.comm_time(stage - 1, q, proc) for q in senders]
+    return float(np.mean(times)) if times else 0.0
+
+
+def _mean_comm_out(mapping: Mapping, stage: int, proc: int) -> float:
+    """Average transmission time of ``proc`` over its round-robin receivers."""
+    if stage == mapping.n_stages - 1:
+        return 0.0
+    receivers = mapping.receivers_from(stage, proc)
+    times = [mapping.comm_time(stage, proc, q) for q in receivers]
+    return float(np.mean(times)) if times else 0.0
+
+
+def cycle_times(
+    mapping: Mapping, *, use_slowest_teammate: bool = False
+) -> list[ResourceCycleTimes]:
+    """Cycle-time decomposition of every processor used by the mapping.
+
+    Each quantity is normalized per *global* data set: processor ``p`` of a
+    team of size ``R_i`` touches one data set in ``R_i``, so its per-data-set
+    busy times are the raw operation times divided by ``R_i``.
+    """
+    out: list[ResourceCycleTimes] = []
+    for stage, proc in mapping.iter_stage_procs():
+        r = mapping.replication[stage]
+        if use_slowest_teammate:
+            slow = min(mapping.platform.speeds[q] for q in mapping.teams[stage])
+            comp = mapping.application[stage].work / (r * slow)
+        else:
+            comp = mapping.compute_time(stage, proc) / r
+        c_in = _mean_comm_in(mapping, stage, proc) / r
+        c_out = _mean_comm_out(mapping, stage, proc) / r
+        out.append(ResourceCycleTimes(proc, stage, c_in, comp, c_out))
+    return out
+
+
+def max_cycle_time(
+    mapping: Mapping,
+    model: ExecutionModel | str,
+    *,
+    use_slowest_teammate: bool = False,
+) -> float:
+    """``Mct = max_p C_exec(p)`` — lower bound on the period (Section 2.3).
+
+    ``1 / Mct`` is the *critical-resource throughput*; the actual throughput
+    of the mapping never exceeds it (with the default utilization
+    convention), and equals it exactly when a critical resource exists.
+    """
+    model = ExecutionModel.coerce(model)
+    times = cycle_times(mapping, use_slowest_teammate=use_slowest_teammate)
+    return max(rc.exec_time(model) for rc in times)
+
+
+def critical_resource(
+    mapping: Mapping,
+    model: ExecutionModel | str,
+    *,
+    use_slowest_teammate: bool = False,
+) -> ResourceCycleTimes:
+    """The resource achieving ``Mct``."""
+    model = ExecutionModel.coerce(model)
+    times = cycle_times(mapping, use_slowest_teammate=use_slowest_teammate)
+    return max(times, key=lambda rc: rc.exec_time(model))

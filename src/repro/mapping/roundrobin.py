@@ -1,0 +1,41 @@
+"""Round-robin path arithmetic (paper Proposition 1).
+
+With stage ``T_i`` mapped on ``m_i`` processors served in round-robin, data
+set ``n`` is processed, at stage ``i``, by the ``(n mod m_i)``-th team
+member. The sequence of processors visited by a data set is its *path*;
+Proposition 1 shows there are exactly ``m = lcm(m_1, …, m_N)`` distinct
+paths and data set ``n`` follows path ``n mod m``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+
+def lcm_all(values: Sequence[int]) -> int:
+    """Least common multiple of a non-empty sequence of positive ints."""
+    if not values:
+        raise ValueError("lcm of an empty sequence is undefined")
+    if any(v < 1 for v in values):
+        raise ValueError(f"replication counts must be >= 1, got {list(values)}")
+    return math.lcm(*values)
+
+
+def path_of_row(teams: Sequence[Sequence[int]], row: int) -> tuple[int, ...]:
+    """Processors visited by data sets of path ``row`` (Proposition 1).
+
+    ``teams[i]`` is the ordered team of stage ``i``; the path visits
+    ``teams[i][row mod len(teams[i])]`` at each stage.
+    """
+    return tuple(team[row % len(team)] for team in teams)
+
+
+def all_paths(teams: Sequence[Sequence[int]]) -> list[tuple[int, ...]]:
+    """All ``lcm(m_1, …, m_N)`` distinct paths, in round-robin order.
+
+    The first path is ``(teams[0][0], …, teams[N-1][0])`` and path ``j``
+    is followed by data sets ``j, j + m, j + 2m, …``.
+    """
+    m = lcm_all([len(t) for t in teams])
+    return [path_of_row(teams, j) for j in range(m)]

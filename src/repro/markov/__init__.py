@@ -1,0 +1,6 @@
+"""Continuous-time Markov chains built from timed Petri nets (Section 5)."""
+
+from repro.markov.ctmc import CTMC
+from repro.markov.builder import ctmc_from_tpn, tpn_throughput_exponential
+
+__all__ = ["CTMC", "ctmc_from_tpn", "tpn_throughput_exponential"]

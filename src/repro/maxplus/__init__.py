@@ -1,0 +1,36 @@
+"""(max,+) algebra: semiring, matrices, and critical-cycle computation.
+
+Timed event graphs evolve linearly in the (max,+) semiring (paper
+Section 4, after Baccelli et al. [2]); the throughput of a strongly
+connected graph is the inverse of its maximum cycle ratio
+``max_C Σ(firing times)/Σ(tokens)``.
+"""
+
+from repro.maxplus.semiring import NEG_INF, oplus, otimes, is_neg_inf
+from repro.maxplus.matrix import MaxPlusMatrix
+from repro.maxplus.graph import Arc, TokenGraph
+from repro.maxplus.cycle import (
+    CycleResult,
+    max_cycle_ratio,
+    max_cycle_ratio_brute_force,
+    max_mean_cycle_karp,
+)
+from repro.maxplus.howard import howard_max_cycle_ratio
+from repro.maxplus.dater import dater_evolution, dater_throughput
+
+__all__ = [
+    "NEG_INF",
+    "oplus",
+    "otimes",
+    "is_neg_inf",
+    "MaxPlusMatrix",
+    "Arc",
+    "TokenGraph",
+    "CycleResult",
+    "max_cycle_ratio",
+    "max_cycle_ratio_brute_force",
+    "max_mean_cycle_karp",
+    "howard_max_cycle_ratio",
+    "dater_evolution",
+    "dater_throughput",
+]

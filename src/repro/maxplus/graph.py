@@ -1,0 +1,139 @@
+"""Weighted token graphs — the combinatorial core of the static analysis.
+
+A :class:`TokenGraph` is a directed multigraph whose arcs carry a real
+``weight`` (firing time contribution) and an integer ``tokens`` count
+(initial marking of the corresponding place). The deterministic period of a
+timed event graph is the maximum over cycles ``C`` of
+``Σ weight(C) / Σ tokens(C)`` (paper Section 4); the graph is extracted
+from a TPN by mapping transitions to nodes and places to arcs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.exceptions import StructuralError
+
+
+@dataclass(frozen=True, slots=True)
+class Arc:
+    """A place seen as an arc of the precedence graph."""
+
+    src: int
+    dst: int
+    weight: float
+    tokens: int
+
+    def __post_init__(self) -> None:
+        if self.tokens < 0:
+            raise StructuralError(f"negative token count on arc {self}")
+        if not np.isfinite(self.weight):
+            raise StructuralError(f"non-finite weight on arc {self}")
+
+
+class TokenGraph:
+    """Directed multigraph with (weight, tokens) arcs."""
+
+    __slots__ = ("_n", "_arcs")
+
+    def __init__(self, n_nodes: int, arcs: Iterable[Arc] = ()) -> None:
+        if n_nodes < 1:
+            raise StructuralError("a token graph needs at least one node")
+        self._n = int(n_nodes)
+        self._arcs: list[Arc] = []
+        for a in arcs:
+            self.add_arc(a.src, a.dst, weight=a.weight, tokens=a.tokens)
+
+    # ------------------------------------------------------------------
+    def add_arc(self, src: int, dst: int, *, weight: float, tokens: int) -> None:
+        if not (0 <= src < self._n and 0 <= dst < self._n):
+            raise StructuralError(
+                f"arc ({src}->{dst}) outside node range 0..{self._n - 1}"
+            )
+        self._arcs.append(Arc(src, dst, float(weight), int(tokens)))
+
+    @property
+    def n_nodes(self) -> int:
+        return self._n
+
+    @property
+    def n_arcs(self) -> int:
+        return len(self._arcs)
+
+    @property
+    def arcs(self) -> tuple[Arc, ...]:
+        return tuple(self._arcs)
+
+    def __iter__(self) -> Iterator[Arc]:
+        return iter(self._arcs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TokenGraph(nodes={self._n}, arcs={len(self._arcs)})"
+
+    # ------------------------------------------------------------------
+    def arc_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized view ``(src, dst, weight, tokens)`` for the solvers."""
+        if not self._arcs:
+            empty_i = np.empty(0, dtype=np.int64)
+            empty_f = np.empty(0, dtype=float)
+            return empty_i, empty_i.copy(), empty_f, empty_f.copy()
+        src = np.fromiter((a.src for a in self._arcs), dtype=np.int64)
+        dst = np.fromiter((a.dst for a in self._arcs), dtype=np.int64)
+        wgt = np.fromiter((a.weight for a in self._arcs), dtype=float)
+        tok = np.fromiter((float(a.tokens) for a in self._arcs), dtype=float)
+        return src, dst, wgt, tok
+
+    def to_networkx(self):
+        """A ``networkx.MultiDiGraph`` view (used by tests / brute force)."""
+        import networkx as nx
+
+        g = nx.MultiDiGraph()
+        g.add_nodes_from(range(self._n))
+        for a in self._arcs:
+            g.add_edge(a.src, a.dst, weight=a.weight, tokens=a.tokens)
+        return g
+
+    # ------------------------------------------------------------------
+    def strongly_connected_components(self) -> list[list[int]]:
+        """SCCs of the underlying digraph (singletons included)."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_nodes_from(range(self._n))
+        g.add_edges_from((a.src, a.dst) for a in self._arcs)
+        return [sorted(c) for c in nx.strongly_connected_components(g)]
+
+    def subgraph(self, nodes: Iterable[int]) -> tuple["TokenGraph", dict[int, int]]:
+        """Induced subgraph with relabelled nodes; returns (graph, old→new)."""
+        keep = sorted(set(nodes))
+        relabel = {old: new for new, old in enumerate(keep)}
+        sub = TokenGraph(max(len(keep), 1))
+        for a in self._arcs:
+            if a.src in relabel and a.dst in relabel:
+                sub.add_arc(
+                    relabel[a.src], relabel[a.dst], weight=a.weight, tokens=a.tokens
+                )
+        return sub, relabel
+
+    def has_zero_token_cycle(self) -> bool:
+        """Whether some cycle carries no token (a dead / non-live TPN).
+
+        Such a cycle can never fire: the maximum cycle ratio would be
+        ``+inf``. The builders never produce one; this check guards
+        hand-built graphs.
+        """
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_nodes_from(range(self._n))
+        g.add_edges_from(
+            (a.src, a.dst) for a in self._arcs if a.tokens == 0
+        )
+        try:
+            nx.find_cycle(g)
+            return True
+        except nx.NetworkXNoCycle:
+            return False

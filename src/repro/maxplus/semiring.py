@@ -1,0 +1,35 @@
+"""Scalar (max,+) semiring operations.
+
+In the (max,+) semiring the "addition" is ``max`` (neutral element
+``-inf``) and the "multiplication" is ``+`` (neutral element ``0``). The
+daters ``D(n)`` of a timed event graph satisfy ``D(n) = D(n-1) ⊗ A(n)``
+(paper, proof of Theorem 5), which is why the algebra shows up everywhere
+in the deterministic analysis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The semiring zero (neutral for ``oplus``); absent arcs carry this weight.
+NEG_INF: float = float("-inf")
+
+
+def is_neg_inf(x) -> np.ndarray | bool:
+    """Elementwise test against the semiring zero."""
+    return np.isneginf(x)
+
+
+def oplus(a, b):
+    """Semiring addition: elementwise maximum."""
+    return np.maximum(a, b)
+
+
+def otimes(a, b):
+    """Semiring multiplication: elementwise addition.
+
+    ``-inf + x`` must stay ``-inf`` (absorbing), which numpy guarantees
+    except for the indeterminate form ``-inf + inf`` — never produced here
+    because the library only manipulates finite firing times.
+    """
+    return np.add(a, b)

@@ -1,0 +1,135 @@
+"""Construction of the Overlap-model timed event graph (paper Section 3.2).
+
+The net has ``m = lcm(R_1, …, R_N)`` rows and ``2N - 1`` columns
+(computations at even columns ``2i``, the transfer of file ``F_{i+1}`` at
+odd columns ``2i + 1``). Four families of places implement the paper's
+constraint sets:
+
+1. *flow* — along each row, ``F_i`` is sent after ``T_i`` completes and
+   ``T_{i+1}`` starts after ``F_i`` arrives;
+2. *proc-cycle* — round-robin of each processor's computations;
+3. *out-port* — one-port round-robin of each processor's sends;
+4. *in-port* — one-port round-robin of each processor's receptions.
+
+Every resource cycle carries exactly one token, placed on the wrap-around
+place (all resources are initially idle, waiting for their first input).
+
+The resulting net is *feed-forward* (no place points to an earlier
+column), which is what makes the polynomial column decomposition of
+Theorem 3 possible — and also means flow places are structurally
+unbounded. ``buffer_capacity`` optionally adds back-pressure places (a
+library extension) so the net becomes bounded and amenable to the full
+CTMC method of Theorem 2.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import StateSpaceLimitError
+from repro.mapping.mapping import Mapping
+from repro.petri.net import TimedEventGraph
+from repro.types import PlaceKind, TransitionKind
+
+#: Hard cap on the unrolled TPN size (rows × columns transitions).
+DEFAULT_MAX_TRANSITIONS = 2_000_000
+
+
+def _add_cycle(
+    tpn: TimedEventGraph, transition_ids: list[int], kind: PlaceKind
+) -> None:
+    """Chain the transitions with 0-token places and close with 1 token.
+
+    A single transition yields a self-loop place holding the token — the
+    resource serves one operation at a time.
+    """
+    k = len(transition_ids)
+    for a in range(k - 1):
+        tpn.add_place(transition_ids[a], transition_ids[a + 1], 0, kind)
+    tpn.add_place(transition_ids[-1], transition_ids[0], 1, kind)
+
+
+def build_overlap_tpn(
+    mapping: Mapping,
+    *,
+    buffer_capacity: int | None = None,
+    max_transitions: int = DEFAULT_MAX_TRANSITIONS,
+) -> TimedEventGraph:
+    """Unrolled Overlap timed event graph of a mapping.
+
+    Parameters
+    ----------
+    mapping:
+        The one-to-many mapping to model.
+    buffer_capacity:
+        ``None`` (paper semantics) leaves flow places unbounded. An integer
+        ``B >= 1`` adds a reverse *capacity* place with ``B`` tokens for
+        every flow place, modelling ``B``-slot buffers between operations.
+    max_transitions:
+        Guard against pathological ``lcm`` blow-ups; a
+        :class:`StateSpaceLimitError` is raised beyond it.
+    """
+    n = mapping.n_stages
+    m = mapping.n_rows
+    n_cols = 2 * n - 1
+    if m * n_cols > max_transitions:
+        raise StateSpaceLimitError(
+            max_transitions,
+            f"unrolled TPN would have {m * n_cols} transitions "
+            f"(m={m}, columns={n_cols}); use the symbolic decomposition instead",
+        )
+    tpn = TimedEventGraph(n_rows=m, n_columns=n_cols)
+
+    comp: list[list[int]] = [[] for _ in range(n)]  # comp[i][j]
+    comm: list[list[int]] = [[] for _ in range(max(n - 1, 0))]  # comm[i][j]
+
+    for j in range(m):
+        for i in range(n):
+            p = mapping.processor(i, j)
+            comp[i].append(
+                tpn.add_transition(
+                    TransitionKind.COMPUTE,
+                    column=2 * i,
+                    row=j,
+                    stage=i,
+                    resource=("cpu", p),
+                    mean_time=mapping.compute_time(i, p),
+                    label=f"T{i + 1}^({j})@P{p}",
+                )
+            )
+    for j in range(m):
+        for i in range(n - 1):
+            p = mapping.processor(i, j)
+            q = mapping.processor(i + 1, j)
+            comm[i].append(
+                tpn.add_transition(
+                    TransitionKind.COMM,
+                    column=2 * i + 1,
+                    row=j,
+                    stage=i,
+                    resource=("link", p, q),
+                    mean_time=mapping.comm_time(i, p, q),
+                    label=f"F{i + 1}^({j})@P{p}->P{q}",
+                )
+            )
+
+    # Constraint set 1: flow along each row.
+    for j in range(m):
+        for i in range(n - 1):
+            tpn.add_place(comp[i][j], comm[i][j], 0, PlaceKind.FLOW)
+            tpn.add_place(comm[i][j], comp[i + 1][j], 0, PlaceKind.FLOW)
+
+    # Constraint sets 2-4: per-resource round-robin cycles.
+    for i in range(n):
+        for p in mapping.teams[i]:
+            rows = mapping.rows_of(i, p)
+            _add_cycle(tpn, [comp[i][j] for j in rows], PlaceKind.PROC_CYCLE)
+            if i < n - 1:
+                _add_cycle(tpn, [comm[i][j] for j in rows], PlaceKind.OUT_PORT)
+            if i > 0:
+                _add_cycle(tpn, [comm[i - 1][j] for j in rows], PlaceKind.IN_PORT)
+
+    if buffer_capacity is not None:
+        if buffer_capacity < 1:
+            raise ValueError("buffer_capacity must be >= 1")
+        for place in [p for p in tpn.places if p.kind is PlaceKind.FLOW]:
+            tpn.add_place(place.dst, place.src, buffer_capacity, PlaceKind.CAPACITY)
+    return tpn

@@ -1,0 +1,95 @@
+"""Construction of the Strict-model timed event graph (paper Section 3.3).
+
+Same grid as the Overlap net (``m`` rows × ``2N - 1`` columns) and the
+same flow places, but the per-resource cycles are replaced by a single
+serialization chain per processor: the processor must finish the sequence
+*receive → compute → send* for one of its data sets before starting the
+next reception. Concretely, for processor ``P`` serving rows
+``j_1 < … < j_k``::
+
+    send(j_l)  →  recv(j_{l+1})      (0 tokens, 1 <= l < k)
+    send(j_k)  →  recv(j_1)          (1 token — P initially idle)
+
+where ``recv``/``send`` degrade to the computation transition for the
+first/last stage. Because a communication transition belongs to both its
+sender's and its receiver's chains, the net acquires backward edges and is
+(in general) strongly connected — the reason the Strict model resists the
+polynomial column decomposition (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import StateSpaceLimitError
+from repro.mapping.mapping import Mapping
+from repro.petri.builder_overlap import DEFAULT_MAX_TRANSITIONS
+from repro.petri.net import TimedEventGraph
+from repro.types import PlaceKind, TransitionKind
+
+
+def build_strict_tpn(
+    mapping: Mapping,
+    *,
+    max_transitions: int = DEFAULT_MAX_TRANSITIONS,
+) -> TimedEventGraph:
+    """Unrolled Strict timed event graph of a mapping."""
+    n = mapping.n_stages
+    m = mapping.n_rows
+    n_cols = 2 * n - 1
+    if m * n_cols > max_transitions:
+        raise StateSpaceLimitError(
+            max_transitions,
+            f"unrolled TPN would have {m * n_cols} transitions "
+            f"(m={m}, columns={n_cols})",
+        )
+    tpn = TimedEventGraph(n_rows=m, n_columns=n_cols)
+
+    comp: list[list[int]] = [[] for _ in range(n)]
+    comm: list[list[int]] = [[] for _ in range(max(n - 1, 0))]
+
+    for j in range(m):
+        for i in range(n):
+            p = mapping.processor(i, j)
+            comp[i].append(
+                tpn.add_transition(
+                    TransitionKind.COMPUTE,
+                    column=2 * i,
+                    row=j,
+                    stage=i,
+                    resource=("cpu", p),
+                    mean_time=mapping.compute_time(i, p),
+                    label=f"T{i + 1}^({j})@P{p}",
+                )
+            )
+    for j in range(m):
+        for i in range(n - 1):
+            p = mapping.processor(i, j)
+            q = mapping.processor(i + 1, j)
+            comm[i].append(
+                tpn.add_transition(
+                    TransitionKind.COMM,
+                    column=2 * i + 1,
+                    row=j,
+                    stage=i,
+                    resource=("link", p, q),
+                    mean_time=mapping.comm_time(i, p, q),
+                    label=f"F{i + 1}^({j})@P{p}->P{q}",
+                )
+            )
+
+    # Constraint set 1 (identical to Overlap): flow along each row.
+    for j in range(m):
+        for i in range(n - 1):
+            tpn.add_place(comp[i][j], comm[i][j], 0, PlaceKind.FLOW)
+            tpn.add_place(comm[i][j], comp[i + 1][j], 0, PlaceKind.FLOW)
+
+    # Strict serialization chain of each processor.
+    for i in range(n):
+        for p in mapping.teams[i]:
+            rows = mapping.rows_of(i, p)
+            firsts = [comm[i - 1][j] if i > 0 else comp[i][j] for j in rows]
+            lasts = [comm[i][j] if i < n - 1 else comp[i][j] for j in rows]
+            k = len(rows)
+            for a in range(k - 1):
+                tpn.add_place(lasts[a], firsts[a + 1], 0, PlaceKind.STRICT_CYCLE)
+            tpn.add_place(lasts[-1], firsts[0], 1, PlaceKind.STRICT_CYCLE)
+    return tpn

@@ -1,0 +1,119 @@
+"""Reachable-marking exploration of a bounded timed event graph.
+
+The exact exponential-case method (Theorem 2) identifies the state of the
+memoryless system with the current marking; this module enumerates the
+reachable markings and the transition relation between them, which the
+Markov layer turns into a CTMC.
+
+Markings are encoded as ``bytes`` of per-place token counts — compact,
+hashable, and cheap to decode back into numpy vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import StateSpaceLimitError, StructuralError
+from repro.petri.net import TimedEventGraph
+
+#: Refuse markings whose token count exceeds this per place: a growing
+#: place means the net is unbounded (feed-forward Overlap without
+#: capacities) and the exploration would never terminate.
+PLACE_BOUND = 64
+
+
+@dataclass
+class ReachabilityResult:
+    """The reachable marking graph.
+
+    ``arcs[s]`` lists ``(transition_index, next_state_index)`` pairs — one
+    per transition enabled in state ``s`` (event graphs are conflict-free,
+    so enabled transitions are exactly the outgoing CTMC moves under race
+    semantics).
+    """
+
+    states: list[bytes]
+    arcs: list[list[tuple[int, int]]]
+    initial: int
+    n_places: int
+
+    @property
+    def n_states(self) -> int:
+        return len(self.states)
+
+    def marking(self, state: int) -> np.ndarray:
+        """Decode a state back into a token-count vector."""
+        return np.frombuffer(self.states[state], dtype=np.uint8).astype(np.int64)
+
+
+def _enabled(marking: np.ndarray, in_places: list[list[int]]) -> list[int]:
+    out = []
+    for t, places in enumerate(in_places):
+        ok = True
+        for p in places:
+            if marking[p] == 0:
+                ok = False
+                break
+        if ok:
+            out.append(t)
+    return out
+
+
+def explore(
+    tpn: TimedEventGraph,
+    *,
+    max_states: int = 200_000,
+    place_bound: int = PLACE_BOUND,
+) -> ReachabilityResult:
+    """Breadth-first enumeration of the reachable markings.
+
+    Raises
+    ------
+    StateSpaceLimitError
+        When more than ``max_states`` markings are reachable.
+    StructuralError
+        When a place accumulates more than ``place_bound`` tokens —
+        the symptom of an unbounded (feed-forward) net.
+    """
+    if tpn.n_places == 0:
+        raise StructuralError("cannot explore a net without places")
+    in_places = tpn.in_places
+    out_places = tpn.out_places
+
+    m0 = tpn.initial_marking().astype(np.int64)
+    if (m0 > place_bound).any():
+        raise StructuralError("initial marking exceeds the place bound")
+    init_key = m0.astype(np.uint8).tobytes()
+
+    index: dict[bytes, int] = {init_key: 0}
+    states: list[bytes] = [init_key]
+    arcs: list[list[tuple[int, int]]] = []
+    frontier = [m0]
+    head = 0
+    while head < len(frontier):
+        marking = frontier[head]
+        head += 1
+        out: list[tuple[int, int]] = []
+        for t in _enabled(marking, in_places):
+            nxt = marking.copy()
+            nxt[in_places[t]] -= 1
+            nxt[out_places[t]] += 1
+            if (nxt > place_bound).any():
+                raise StructuralError(
+                    f"place bound {place_bound} exceeded: the net is unbounded "
+                    "(add buffer capacities or use the decomposition method)"
+                )
+            key = nxt.astype(np.uint8).tobytes()
+            s = index.get(key)
+            if s is None:
+                s = len(states)
+                if s >= max_states:
+                    raise StateSpaceLimitError(max_states)
+                index[key] = s
+                states.append(key)
+                frontier.append(nxt)
+            out.append((t, s))
+        arcs.append(out)
+    return ReachabilityResult(states=states, arcs=arcs, initial=0, n_places=tpn.n_places)

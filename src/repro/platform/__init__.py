@@ -1,0 +1,7 @@
+"""Fully heterogeneous target platforms (paper Section 2.1)."""
+
+from repro.platform.processor import Processor
+from repro.platform.topology import Platform
+from repro.platform.generators import random_platform
+
+__all__ = ["Processor", "Platform", "random_platform"]

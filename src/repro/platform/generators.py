@@ -1,0 +1,45 @@
+"""Random platform generators.
+
+The experimental section of the paper draws processor speeds and link
+bandwidths uniformly so that computation times fall in 5…15 s or
+10…1000 s. We generate *times* directly by normalizing speeds/bandwidths
+to the inverse of drawn times (reference work/file size of 1); this matches
+the paper's convention of reporting ranges in seconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidPlatformError
+from repro.platform.topology import Platform
+from repro.platform.processor import Processor
+
+
+def random_platform(
+    n_processors: int,
+    rng: np.random.Generator,
+    *,
+    speed_range: tuple[float, float] = (1.0, 10.0),
+    bandwidth_range: tuple[float, float] = (1.0, 10.0),
+    symmetric: bool = True,
+) -> Platform:
+    """Draw a fully heterogeneous platform.
+
+    Speeds and bandwidths are uniform over the given (positive) ranges. With
+    ``symmetric=True`` (default, like the paper's star networks) the
+    bandwidth matrix is symmetrized by its upper triangle.
+    """
+    if n_processors < 1:
+        raise InvalidPlatformError("n_processors must be >= 1")
+    lo_s, hi_s = speed_range
+    lo_b, hi_b = bandwidth_range
+    if lo_s <= 0 or hi_s < lo_s or lo_b <= 0 or hi_b < lo_b:
+        raise InvalidPlatformError("speed/bandwidth ranges must be positive")
+    speeds = rng.uniform(lo_s, hi_s, size=n_processors)
+    bw = rng.uniform(lo_b, hi_b, size=(n_processors, n_processors))
+    if symmetric:
+        bw = np.triu(bw, 1)
+        bw = bw + bw.T
+        np.fill_diagonal(bw, hi_b)  # diagonal is never used for transfers
+    return Platform((Processor(float(s)) for s in speeds), bw)

@@ -1,0 +1,29 @@
+"""Processor description."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import InvalidPlatformError
+
+
+@dataclass(frozen=True, slots=True)
+class Processor:
+    """Processor ``P_p`` with speed ``s_p`` in flop per second.
+
+    The paper's platforms are fully heterogeneous: every processor may have
+    a different speed and every (logical) link a different bandwidth. A
+    processor's speed must be strictly positive — a zero-speed processor
+    could never finish a stage, making the throughput trivially zero.
+    """
+
+    speed: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.speed > 0:
+            raise InvalidPlatformError(f"processor speed must be > 0, got {self.speed}")
+
+    def compute_time(self, work: float) -> float:
+        """Time ``w / s_p`` to process ``work`` flop on this processor."""
+        return work / self.speed

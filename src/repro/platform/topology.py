@@ -1,0 +1,129 @@
+"""Platform topology: processors plus a bandwidth matrix.
+
+The paper assumes bidirectional (possibly logical) links ``link_{p,q}``
+between any processor pair, with bandwidth ``b_{p,q}`` bytes per second; a
+star-shaped physical network with a central switch is the canonical
+realization. We store a full ``M × M`` bandwidth matrix. Bandwidths need not
+be symmetric (the model only ever uses the ``p → q`` direction for a file
+flowing from ``P_p`` to ``P_q``), although the generators below produce
+symmetric matrices like the paper's experiments.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidPlatformError
+from repro.platform.processor import Processor
+
+
+class Platform:
+    """A set of processors and the bandwidths of the links between them."""
+
+    __slots__ = ("_processors", "_bandwidth")
+
+    def __init__(
+        self,
+        processors: Iterable[Processor],
+        bandwidth: np.ndarray | Sequence[Sequence[float]],
+    ) -> None:
+        procs = tuple(
+            p if p.name else Processor(p.speed, f"P{i + 1}")
+            for i, p in enumerate(processors)
+        )
+        if not procs:
+            raise InvalidPlatformError("a platform needs at least one processor")
+        bw = np.asarray(bandwidth, dtype=float)
+        m = len(procs)
+        if bw.shape != (m, m):
+            raise InvalidPlatformError(
+                f"bandwidth matrix must be {m}x{m}, got shape {bw.shape}"
+            )
+        off_diag = bw[~np.eye(m, dtype=bool)]
+        if off_diag.size and not (off_diag > 0).all():
+            raise InvalidPlatformError("all link bandwidths must be > 0")
+        self._processors = procs
+        self._bandwidth = bw
+        self._bandwidth.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_speeds(
+        cls,
+        speeds: Sequence[float],
+        bandwidth: np.ndarray | Sequence[Sequence[float]] | float,
+    ) -> "Platform":
+        """Build a platform from a speed vector.
+
+        ``bandwidth`` may be a full matrix or a scalar (uniform network).
+        """
+        m = len(speeds)
+        if np.isscalar(bandwidth):
+            bw = np.full((m, m), float(bandwidth))  # type: ignore[arg-type]
+        else:
+            bw = np.asarray(bandwidth, dtype=float)
+        return cls((Processor(float(s)) for s in speeds), bw)
+
+    @classmethod
+    def homogeneous(cls, n: int, speed: float, bandwidth: float) -> "Platform":
+        """``n`` identical processors on a uniform network."""
+        return cls.from_speeds([speed] * n, bandwidth)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_processors(self) -> int:
+        """Number of processors ``M``."""
+        return len(self._processors)
+
+    @property
+    def processors(self) -> tuple[Processor, ...]:
+        return self._processors
+
+    @property
+    def speeds(self) -> np.ndarray:
+        """Vector ``(s_1, …, s_M)``."""
+        return np.array([p.speed for p in self._processors], dtype=float)
+
+    @property
+    def bandwidth_matrix(self) -> np.ndarray:
+        """Read-only ``M × M`` matrix of ``b_{p,q}``."""
+        return self._bandwidth
+
+    def __len__(self) -> int:
+        return len(self._processors)
+
+    def __getitem__(self, p: int) -> Processor:
+        return self._processors[p]
+
+    def __repr__(self) -> str:
+        return f"Platform(M={self.n_processors})"
+
+    # ------------------------------------------------------------------
+    # Model quantities
+    # ------------------------------------------------------------------
+    def bandwidth(self, p: int, q: int) -> float:
+        """Bandwidth ``b_{p,q}`` of the link from ``P_p`` to ``P_q``."""
+        return float(self._bandwidth[p, q])
+
+    def transfer_time(self, size: float, p: int, q: int) -> float:
+        """Time ``δ / b_{p,q}`` to ship ``size`` bytes from ``P_p`` to ``P_q``.
+
+        A zero-size file costs zero time regardless of the link (also
+        covering the degenerate ``p == q`` case where the paper's model
+        never transfers anything).
+        """
+        if size == 0.0:
+            return 0.0
+        if p == q:
+            return 0.0
+        return size / self.bandwidth(p, q)
+
+    def compute_time(self, work: float, p: int) -> float:
+        """Time ``w / s_p`` for ``work`` flop on ``P_p``."""
+        return self._processors[p].compute_time(work)

@@ -1,0 +1,28 @@
+"""Discrete-event simulation substrate (paper Section 7's tooling).
+
+Two independent simulators cross-validate the analytical results:
+
+* :mod:`repro.sim.tpn_sim` — simulates the timed event graph itself
+  (our stand-in for ERS' ``eg_sim``);
+* :mod:`repro.sim.system_sim` — simulates the application/platform/mapping
+  directly through the Section 2 recurrences, without any Petri net
+  (our stand-in for the paper's SimGrid experiments, including the
+  bandwidth-efficiency correction).
+"""
+
+from repro.sim.results import SimulationResult
+from repro.sim.tpn_sim import simulate_tpn
+from repro.sim.system_sim import simulate_system
+from repro.sim.runner import replicate, ReplicationSummary, throughput_vs_datasets
+from repro.sim.stats import OnlineStats, normal_confidence_interval
+
+__all__ = [
+    "SimulationResult",
+    "simulate_tpn",
+    "simulate_system",
+    "replicate",
+    "ReplicationSummary",
+    "throughput_vs_datasets",
+    "OnlineStats",
+    "normal_confidence_interval",
+]

@@ -1,0 +1,80 @@
+"""Per-resource samplers shared by the simulators.
+
+The I.I.D. hypothesis of Section 2.4 attaches one law per hardware
+resource; a :class:`LawSpec` freezes a family/shape and instantiates it
+with each resource's mean. Samples are drawn in vectorized batches (the
+numpy generator amortizes much better over blocks than per-event calls).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distributions.base import Distribution
+from repro.distributions.registry import make_distribution
+
+#: Anything convertible to a ``mean -> Distribution`` factory.
+LawLike = "str | Callable[[float], Distribution] | LawSpec"
+
+
+@dataclass(frozen=True)
+class LawSpec:
+    """A distribution family plus its shape parameters (mean left free)."""
+
+    family: str
+    params: tuple[tuple[str, float], ...] = ()
+
+    @classmethod
+    def of(cls, family: str, **params: float) -> "LawSpec":
+        return cls(family, tuple(sorted(params.items())))
+
+    def instantiate(self, mean: float) -> Distribution:
+        return make_distribution(self.family, mean, **dict(self.params))
+
+    @property
+    def label(self) -> str:
+        if not self.params:
+            return self.family
+        inner = ", ".join(f"{k}={v:g}" for k, v in self.params)
+        return f"{self.family}({inner})"
+
+
+def as_factory(law: "LawLike") -> Callable[[float], Distribution]:
+    """Normalize a law designation into a ``mean -> Distribution`` factory."""
+    if isinstance(law, LawSpec):
+        return law.instantiate
+    if isinstance(law, str):
+        return LawSpec.of(law).instantiate
+    if callable(law):
+        return law
+    raise TypeError(f"cannot interpret {law!r} as a law")
+
+
+class SampleBuffer:
+    """Batch sampler for one distribution (vectorized draws, FIFO reads)."""
+
+    __slots__ = ("_dist", "_rng", "_block", "_buf", "_pos")
+
+    def __init__(
+        self, dist: Distribution, rng: np.random.Generator, block: int = 1024
+    ) -> None:
+        self._dist = dist
+        self._rng = rng
+        self._block = int(block)
+        self._buf = np.empty(0)
+        self._pos = 0
+
+    def draw(self) -> float:
+        if self._pos >= self._buf.size:
+            self._buf = np.asarray(self._dist.sample(self._rng, self._block), dtype=float)
+            self._pos = 0
+        x = float(self._buf[self._pos])
+        self._pos += 1
+        return x
+
+    def draw_block(self, n: int) -> np.ndarray:
+        """Draw ``n`` samples at once (bypasses the FIFO buffer)."""
+        return np.asarray(self._dist.sample(self._rng, n), dtype=float)

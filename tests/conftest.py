@@ -1,0 +1,57 @@
+"""Shared fixtures and helpers for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Application, Mapping, Platform
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def make_mapping(
+    teams: list[list[int]],
+    *,
+    works: list[float] | None = None,
+    files: list[float] | None = None,
+    speeds: list[float] | None = None,
+    bandwidth=1.0,
+    seed: int | None = None,
+) -> Mapping:
+    """Compact mapping builder used across the suite.
+
+    Defaults to unit works/files/speeds on a uniform network; pass
+    ``seed`` for a reproducible fully heterogeneous platform instead.
+    """
+    n = len(teams)
+    m = max(p for t in teams for p in t) + 1
+    works = works if works is not None else [1.0] * n
+    files = files if files is not None else [1.0] * (n - 1)
+    app = Application.from_work(works, files)
+    if seed is not None:
+        r = np.random.default_rng(seed)
+        speeds = r.uniform(0.5, 2.0, m).tolist()
+        bw = r.uniform(0.5, 2.0, (m, m))
+        bw = np.triu(bw, 1)
+        bw = bw + bw.T + np.eye(m)
+        platform = Platform.from_speeds(speeds, bw)
+    else:
+        speeds = speeds if speeds is not None else [1.0] * m
+        platform = Platform.from_speeds(speeds, bandwidth)
+    return Mapping(app, platform, teams)
+
+
+@pytest.fixture
+def two_stage_2x3() -> Mapping:
+    """Two stages replicated 2 and 3 — the smallest interesting pattern."""
+    return make_mapping([[0, 1], [2, 3, 4]])
+
+
+@pytest.fixture
+def three_stage_mixed() -> Mapping:
+    """Three stages replicated (1, 2, 4): m = 4, a 2-copy pattern inside."""
+    return make_mapping([[0], [1, 2], [3, 4, 5, 6]])

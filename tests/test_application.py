@@ -1,0 +1,127 @@
+"""Unit tests for the application model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Application, Stage
+from repro.application import random_application
+from repro.exceptions import InvalidApplicationError
+
+
+class TestStage:
+    def test_basic_fields(self):
+        s = Stage(work=10.0, output_size=3.0, name="enc")
+        assert s.work == 10.0
+        assert s.output_size == 3.0
+        assert s.name == "enc"
+
+    def test_zero_work_allowed(self):
+        assert Stage(work=0.0).work == 0.0
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(InvalidApplicationError):
+            Stage(work=-1.0)
+
+    def test_negative_output_rejected(self):
+        with pytest.raises(InvalidApplicationError):
+            Stage(work=1.0, output_size=-0.5)
+
+    def test_renamed_copies(self):
+        s = Stage(1.0, 2.0).renamed("x")
+        assert s.name == "x" and s.work == 1.0 and s.output_size == 2.0
+
+
+class TestApplication:
+    def test_from_work_defaults(self):
+        app = Application.from_work([1.0, 2.0, 3.0])
+        assert app.n_stages == 3
+        assert np.allclose(app.file_sizes, [0.0, 0.0])
+
+    def test_from_work_with_files(self):
+        app = Application.from_work([1.0, 2.0], files=[5.0])
+        assert app.file_size(0) == 5.0
+
+    def test_last_stage_has_no_output(self):
+        app = Application.from_work([1.0, 2.0], files=[5.0])
+        assert app[-1].output_size == 0.0
+
+    def test_direct_construction_rejects_trailing_output(self):
+        with pytest.raises(InvalidApplicationError):
+            Application([Stage(1.0, output_size=2.0)])
+
+    def test_wrong_file_count(self):
+        with pytest.raises(InvalidApplicationError):
+            Application.from_work([1.0, 2.0], files=[1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidApplicationError):
+            Application([])
+
+    def test_default_names(self):
+        app = Application.from_work([1.0, 2.0])
+        assert [s.name for s in app] == ["T1", "T2"]
+
+    def test_uniform(self):
+        app = Application.uniform(4, work=2.0, file_size=3.0)
+        assert np.allclose(app.works, 2.0)
+        assert np.allclose(app.file_sizes, 3.0)
+
+    def test_uniform_single_stage(self):
+        app = Application.uniform(1, work=2.0, file_size=3.0)
+        assert app.n_stages == 1
+        assert app.file_sizes.size == 0
+
+    def test_uniform_rejects_zero_stages(self):
+        with pytest.raises(InvalidApplicationError):
+            Application.uniform(0, 1.0, 1.0)
+
+    def test_sequence_protocol(self):
+        app = Application.from_work([1.0, 2.0, 3.0])
+        assert len(app) == 3
+        assert app[1].work == 2.0
+        assert [s.work for s in app] == [1.0, 2.0, 3.0]
+
+    def test_equality_and_hash(self):
+        a = Application.from_work([1.0, 2.0], files=[3.0])
+        b = Application.from_work([1.0, 2.0], files=[3.0])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_file_size_out_of_range(self):
+        app = Application.from_work([1.0, 2.0], files=[3.0])
+        with pytest.raises(IndexError):
+            app.file_size(1)
+        with pytest.raises(IndexError):
+            app.file_size(-1)
+
+    def test_works_vector(self):
+        app = Application.from_work([1.5, 2.5])
+        assert app.works.dtype == float
+        assert np.allclose(app.works, [1.5, 2.5])
+
+
+class TestRandomApplication:
+    def test_sizes_within_ranges(self, rng):
+        app = random_application(
+            8, rng, work_range=(5.0, 15.0), file_range=(2.0, 4.0)
+        )
+        assert app.n_stages == 8
+        assert ((app.works >= 5.0) & (app.works <= 15.0)).all()
+        assert ((app.file_sizes >= 2.0) & (app.file_sizes <= 4.0)).all()
+
+    def test_single_stage(self, rng):
+        app = random_application(1, rng)
+        assert app.n_stages == 1
+
+    def test_rejects_bad_ranges(self, rng):
+        with pytest.raises(InvalidApplicationError):
+            random_application(3, rng, work_range=(10.0, 5.0))
+        with pytest.raises(InvalidApplicationError):
+            random_application(0, rng)
+
+    def test_reproducible(self):
+        a = random_application(5, np.random.default_rng(1))
+        b = random_application(5, np.random.default_rng(1))
+        assert np.allclose(a.works, b.works)

@@ -1,0 +1,155 @@
+"""Tests for quantiles and the coupled comparisons (Theorems 5/6/7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import strict_exponential_throughput
+from repro.core.comparison import (
+    coupled_daters,
+    coupled_throughputs,
+    coupled_times,
+    verify_st_dominance,
+)
+from repro.distributions import (
+    Deterministic,
+    Erlang,
+    Exponential,
+    Gamma,
+    HyperExponential,
+    LogNormal,
+    ScaledBeta,
+    TruncatedNormal,
+    Uniform,
+    Weibull,
+)
+from repro.petri import build_overlap_tpn, build_strict_tpn
+from repro.sim.sampling import LawSpec
+
+from tests.conftest import make_mapping
+
+ALL_LAWS = [
+    Deterministic(2.0),
+    Exponential(2.0),
+    Uniform.from_mean(2.0, 0.5),
+    Gamma.from_mean(2.0, shape=3.0),
+    Erlang.from_mean(2.0, k=4),
+    ScaledBeta.from_mean(2.0, shape=2.0),
+    TruncatedNormal.from_mean(2.0, sigma=0.5),
+    Weibull.from_mean(2.0, shape=2.0),
+    LogNormal.from_mean(2.0, sigma=0.8),
+    HyperExponential.from_mean(2.0, cv2=4.0),
+]
+
+
+@pytest.mark.parametrize("dist", ALL_LAWS, ids=lambda d: d.name)
+class TestQuantiles:
+    def test_inverse_of_cdf_empirically(self, dist, rng):
+        """P(X <= quantile(q)) ≈ q on a grid (atoms excluded)."""
+        if isinstance(dist, Deterministic):
+            pytest.skip("point mass: the CDF has a jump at the atom")
+        x = np.sort(np.asarray(dist.sample(rng, 120_000)))
+        for q in (0.1, 0.25, 0.5, 0.75, 0.9):
+            cut = dist.quantile(q)
+            frac = np.searchsorted(x, cut) / x.size
+            assert frac == pytest.approx(q, abs=0.01)
+
+    def test_monotone(self, dist):
+        grid = np.linspace(0.01, 0.99, 64)
+        vals = np.asarray(dist.quantile(grid))
+        assert (np.diff(vals) >= -1e-12).all()
+
+    def test_median_scale(self, dist):
+        med = dist.quantile(0.5)
+        assert 0 < med < 10 * dist.mean
+
+    def test_quantile_transform_samples(self, dist, rng):
+        """Uniform draws through quantile() reproduce mean and variance."""
+        u = rng.random(150_000)
+        x = np.asarray(dist.quantile(u))
+        assert x.mean() == pytest.approx(dist.mean, rel=0.03)
+        if np.isfinite(dist.variance) and dist.variance > 0:
+            assert x.var() == pytest.approx(dist.variance, rel=0.15)
+
+    def test_rejects_bad_levels(self, dist):
+        with pytest.raises(Exception):
+            dist.quantile(np.array([-0.1]))
+
+
+class TestCoupledComparisons:
+    def test_coupled_times_shares_uniforms(self):
+        mp = make_mapping([[0], [1]], works=[1.0, 2.0], files=[1.5])
+        tpn = build_strict_tpn(mp)
+        u = np.random.default_rng(0).random((tpn.n_transitions, 10))
+        a = coupled_times(tpn, "deterministic", u)
+        b = coupled_times(tpn, LawSpec.of("uniform", rel_half_width=0.5), u)
+        assert a.shape == b.shape == u.shape
+        # Same means row-wise by construction.
+        assert np.allclose(a.mean(axis=1), [t.mean_time for t in tpn.transitions])
+
+    def test_theorem5_st_sample_path(self):
+        """Scaled laws are ≤st-ordered → daters ordered pointwise."""
+        mp = make_mapping([[0], [1, 2]], seed=3)
+        for build in (build_overlap_tpn, build_strict_tpn):
+            tpn = build(mp)
+            fast = lambda mean: Uniform.from_mean(0.8 * mean, 0.5)
+            slow = lambda mean: Uniform.from_mean(mean, 0.5)
+            assert verify_st_dominance(tpn, fast, slow, n_firings=150, seed=1)
+
+    def test_theorem5_violated_without_order(self):
+        """Same-mean laws are not ≤st-ordered: dominance check fails."""
+        mp = make_mapping([[0], [1]], works=[1.0, 1.0], files=[1.0])
+        tpn = build_strict_tpn(mp)
+        a = lambda mean: Exponential(mean)
+        b = lambda mean: Deterministic(mean)
+        assert not verify_st_dominance(tpn, a, b, n_firings=300, seed=2)
+        assert not verify_st_dominance(tpn, b, a, n_firings=300, seed=2)
+
+    def test_theorem6_icx_ordering_in_expectation(self):
+        """det >= Erlang-4 >= exp throughput, via common random numbers."""
+        mp = make_mapping([[0], [1, 2]], works=[1.0, 2.0], files=[1.0])
+        tpn = build_strict_tpn(mp)
+        rhos = coupled_throughputs(
+            tpn,
+            {
+                "det": "deterministic",
+                "erlang4": LawSpec.of("erlang", k=4),
+                "exp": "exponential",
+            },
+            n_firings=6000,
+            seed=4,
+        )
+        assert rhos["det"] >= rhos["erlang4"] >= rhos["exp"]
+
+    def test_theorem7_sandwich_via_daters(self):
+        """The dater estimates of the extreme laws match the exact values."""
+        from repro.core import tpn_throughput_deterministic
+
+        mp = make_mapping([[0], [1]], works=[1.0, 2.0], files=[1.5])
+        tpn = build_strict_tpn(mp)
+        rhos = coupled_throughputs(
+            tpn, {"det": "deterministic", "exp": "exponential"},
+            n_firings=15_000, seed=5,
+        )
+        assert rhos["det"] == pytest.approx(
+            tpn_throughput_deterministic(tpn), rel=0.02
+        )
+        assert rhos["exp"] == pytest.approx(
+            strict_exponential_throughput(mp), rel=0.03
+        )
+
+    def test_non_nbue_below_exponential(self):
+        """Theorem 7's converse face: DFR laws drop below the exp value."""
+        mp = make_mapping([[0, 1], [2, 3, 4]], works=[1e-3, 1e-3])
+        tpn = build_overlap_tpn(mp)
+        rhos = coupled_throughputs(
+            tpn,
+            {
+                "exp": "exponential",
+                "dfr": LawSpec.of("gamma", shape=0.3),
+            },
+            n_firings=4000,
+            seed=6,
+        )
+        assert rhos["dfr"] < rhos["exp"]

@@ -1,0 +1,102 @@
+"""Coverage for the small shared modules (types, exceptions, CLI paths)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    ConvergenceError,
+    InvalidApplicationError,
+    InvalidDistributionError,
+    InvalidMappingError,
+    InvalidPlatformError,
+    ReproError,
+    StateSpaceLimitError,
+    StructuralError,
+    UnsupportedModelError,
+)
+from repro.types import ExecutionModel, PlaceKind, TransitionKind
+
+
+class TestExceptions:
+    def test_hierarchy(self):
+        for exc in (
+            InvalidApplicationError,
+            InvalidPlatformError,
+            InvalidMappingError,
+            InvalidDistributionError,
+            StructuralError,
+            StateSpaceLimitError,
+            ConvergenceError,
+            UnsupportedModelError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_state_space_limit_carries_limit(self):
+        err = StateSpaceLimitError(1000)
+        assert err.limit == 1000
+        assert "1000" in str(err)
+
+    def test_state_space_limit_custom_message(self):
+        err = StateSpaceLimitError(5, "too big")
+        assert str(err) == "too big"
+
+
+class TestExecutionModel:
+    def test_coerce_strings(self):
+        assert ExecutionModel.coerce("overlap") is ExecutionModel.OVERLAP
+        assert ExecutionModel.coerce("STRICT") is ExecutionModel.STRICT
+
+    def test_coerce_passthrough(self):
+        assert ExecutionModel.coerce(ExecutionModel.OVERLAP) is ExecutionModel.OVERLAP
+
+    def test_coerce_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            ExecutionModel.coerce("fancy")
+
+    def test_enum_values(self):
+        assert {m.value for m in ExecutionModel} == {"overlap", "strict"}
+
+
+class TestKinds:
+    def test_place_kinds_cover_constraints(self):
+        names = {k.name for k in PlaceKind}
+        assert {
+            "FLOW",
+            "PROC_CYCLE",
+            "OUT_PORT",
+            "IN_PORT",
+            "STRICT_CYCLE",
+            "CAPACITY",
+        } <= names
+
+    def test_transition_kinds(self):
+        assert {k.value for k in TransitionKind} == {"compute", "comm"}
+
+
+class TestCliErrors:
+    def test_requires_command(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_rejects_unknown_experiment(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+    def test_scaled_config_for_table1(self):
+        from repro.cli import _scaled_config
+        from repro.experiments import table1
+
+        cfg = _scaled_config("table1", table1, 0.1)
+        assert cfg is not None
+        assert cfg.classes[0].n_experiments <= 11
+
+    def test_scale_one_keeps_default(self):
+        from repro.cli import _scaled_config
+        from repro.experiments import fig15
+
+        assert _scaled_config("fig15", fig15, 1.0) is None

@@ -1,0 +1,137 @@
+"""Tests for empirical stochastic orders and the N.B.U.E. sample test."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    Deterministic,
+    Exponential,
+    Gamma,
+    HyperExponential,
+    Uniform,
+    empirical_icx_dominated,
+    empirical_st_dominated,
+    is_empirically_nbue,
+    mean_residual_life,
+    nbue_margin,
+    stop_loss,
+)
+
+
+class TestStrongOrder:
+    def test_shifted_sample_dominates(self, rng):
+        x = rng.exponential(1.0, 5000)
+        assert empirical_st_dominated(x, x + 0.5)
+        assert not empirical_st_dominated(x + 0.5, x, tolerance=0.01)
+
+    def test_scaling_dominates(self, rng):
+        x = rng.exponential(1.0, 5000)
+        assert empirical_st_dominated(x, 2.0 * x)
+
+    def test_reflexive(self, rng):
+        x = rng.gamma(2.0, 1.0, 1000)
+        assert empirical_st_dominated(x, x)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            empirical_st_dominated([], [1.0])
+
+
+class TestIcxOrder:
+    def test_deterministic_below_exponential(self, rng):
+        """The Theorem 7 workhorse: constant ≤icx N.B.U.E. ≤icx exponential."""
+        const = np.full(40_000, 1.0)
+        expo = Exponential(1.0).sample(rng, 40_000)
+        assert empirical_icx_dominated(const, expo, tolerance=0.02)
+        assert not empirical_icx_dominated(expo, const, tolerance=0.02)
+
+    def test_nbue_between_extremes(self, rng):
+        """A uniform (N.B.U.E.) law sits inside the icx sandwich."""
+        uni = Uniform.from_mean(1.0).sample(rng, 40_000)
+        const = np.full(40_000, 1.0)
+        expo = Exponential(1.0).sample(rng, 40_000)
+        assert empirical_icx_dominated(const, uni, tolerance=0.02)
+        assert empirical_icx_dominated(uni, expo, tolerance=0.02)
+
+    def test_hyperexponential_above_exponential(self, rng):
+        """DFR laws exceed the exponential in icx order (same mean)."""
+        expo = Exponential(1.0).sample(rng, 60_000)
+        hyper = HyperExponential.from_mean(1.0, cv2=6.0).sample(rng, 60_000)
+        assert empirical_icx_dominated(expo, hyper, tolerance=0.02)
+        assert not empirical_icx_dominated(hyper, expo, tolerance=0.02)
+
+    def test_icx_is_variability_order_same_mean(self, rng):
+        g_low = Gamma.from_mean(1.0, shape=4.0).sample(rng, 60_000)
+        g_high = Gamma.from_mean(1.0, shape=0.5).sample(rng, 60_000)
+        assert empirical_icx_dominated(g_low, g_high, tolerance=0.02)
+
+
+class TestStopLoss:
+    def test_at_zero_equals_mean(self, rng):
+        x = rng.gamma(2.0, 1.5, 20_000)
+        assert stop_loss(x, 0.0)[0] == pytest.approx(x.mean())
+
+    def test_decreasing_in_t(self, rng):
+        x = rng.exponential(1.0, 10_000)
+        vals = stop_loss(x, [0.0, 0.5, 1.0, 2.0])
+        assert (np.diff(vals) <= 1e-12).all()
+
+    def test_exponential_closed_form(self, rng):
+        x = Exponential(1.0).sample(rng, 400_000)
+        # E[(X - t)+] = exp(-t) for a unit exponential.
+        assert stop_loss(x, 1.0)[0] == pytest.approx(np.exp(-1.0), rel=0.03)
+
+
+class TestMeanResidualLife:
+    def test_exponential_is_memoryless(self, rng):
+        x = Exponential(2.0).sample(rng, 400_000)
+        assert mean_residual_life(x, 3.0) == pytest.approx(2.0, rel=0.05)
+
+    def test_deterministic_decreases(self, rng):
+        x = Deterministic(2.0).sample(rng, 1000)
+        assert mean_residual_life(x, 1.0) == pytest.approx(1.0)
+
+    def test_no_exceedances_returns_zero(self):
+        assert mean_residual_life([1.0, 2.0], 5.0) == 0.0
+
+
+class TestNBUESampleTest:
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            Deterministic(1.0),
+            Exponential(1.0),
+            Uniform.from_mean(1.0),
+            Gamma.from_mean(1.0, shape=3.0),
+        ],
+        ids=lambda d: d.name,
+    )
+    def test_nbue_laws_pass(self, dist, rng):
+        x = dist.sample(rng, 100_000)
+        assert is_empirically_nbue(x)
+
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            HyperExponential.from_mean(1.0, cv2=8.0),
+            Gamma.from_mean(1.0, shape=0.3),
+        ],
+        ids=lambda d: f"{d.name}-cv2={d.cv2:.1f}",
+    )
+    def test_non_nbue_laws_fail(self, dist, rng):
+        x = dist.sample(rng, 100_000)
+        assert nbue_margin(x) > 0.1
+        assert not is_empirically_nbue(x)
+
+    def test_margin_sign_matches_flag(self, rng):
+        """The empirical test agrees with the analytic classification."""
+        for dist in [
+            Gamma.from_mean(1.0, shape=0.4),
+            Gamma.from_mean(1.0, shape=2.5),
+            HyperExponential.from_mean(1.0, cv2=5.0),
+            Uniform.from_mean(1.0),
+        ]:
+            x = dist.sample(rng, 150_000)
+            assert is_empirically_nbue(x, slack=0.1) == dist.is_nbue

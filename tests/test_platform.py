@@ -1,0 +1,112 @@
+"""Unit tests for the platform model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Platform, Processor
+from repro.exceptions import InvalidPlatformError
+from repro.platform import random_platform
+
+
+class TestProcessor:
+    def test_compute_time(self):
+        assert Processor(speed=2.0).compute_time(10.0) == 5.0
+
+    def test_rejects_zero_speed(self):
+        with pytest.raises(InvalidPlatformError):
+            Processor(speed=0.0)
+
+    def test_rejects_negative_speed(self):
+        with pytest.raises(InvalidPlatformError):
+            Processor(speed=-1.0)
+
+
+class TestPlatform:
+    def test_homogeneous(self):
+        p = Platform.homogeneous(4, speed=2.0, bandwidth=8.0)
+        assert p.n_processors == 4
+        assert np.allclose(p.speeds, 2.0)
+        assert p.bandwidth(0, 3) == 8.0
+
+    def test_from_speeds_scalar_bandwidth(self):
+        p = Platform.from_speeds([1.0, 2.0], 4.0)
+        assert p.bandwidth(0, 1) == 4.0
+
+    def test_from_speeds_matrix(self):
+        bw = [[1.0, 2.0], [3.0, 1.0]]
+        p = Platform.from_speeds([1.0, 2.0], bw)
+        assert p.bandwidth(0, 1) == 2.0
+        assert p.bandwidth(1, 0) == 3.0
+
+    def test_transfer_time(self):
+        p = Platform.from_speeds([1.0, 1.0], 4.0)
+        assert p.transfer_time(8.0, 0, 1) == 2.0
+
+    def test_transfer_zero_size_free(self):
+        p = Platform.from_speeds([1.0, 1.0], 4.0)
+        assert p.transfer_time(0.0, 0, 1) == 0.0
+
+    def test_self_transfer_free(self):
+        p = Platform.from_speeds([1.0, 1.0], 4.0)
+        assert p.transfer_time(100.0, 1, 1) == 0.0
+
+    def test_compute_time(self):
+        p = Platform.from_speeds([1.0, 4.0], 1.0)
+        assert p.compute_time(8.0, 1) == 2.0
+
+    def test_bad_matrix_shape(self):
+        with pytest.raises(InvalidPlatformError):
+            Platform.from_speeds([1.0, 2.0], np.ones((3, 3)))
+
+    def test_non_positive_bandwidth_rejected(self):
+        bw = np.ones((2, 2))
+        bw[0, 1] = 0.0
+        with pytest.raises(InvalidPlatformError):
+            Platform.from_speeds([1.0, 1.0], bw)
+
+    def test_empty_platform_rejected(self):
+        with pytest.raises(InvalidPlatformError):
+            Platform([], np.empty((0, 0)))
+
+    def test_bandwidth_matrix_read_only(self):
+        p = Platform.homogeneous(2, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            p.bandwidth_matrix[0, 1] = 3.0
+
+    def test_default_names(self):
+        p = Platform.homogeneous(2, 1.0, 1.0)
+        assert [q.name for q in p.processors] == ["P1", "P2"]
+
+    def test_indexing(self):
+        p = Platform.from_speeds([1.0, 2.0], 1.0)
+        assert p[1].speed == 2.0
+        assert len(p) == 2
+
+
+class TestRandomPlatform:
+    def test_ranges(self, rng):
+        p = random_platform(
+            6, rng, speed_range=(1.0, 2.0), bandwidth_range=(3.0, 4.0)
+        )
+        assert ((p.speeds >= 1.0) & (p.speeds <= 2.0)).all()
+        bw = p.bandwidth_matrix
+        off = bw[~np.eye(6, dtype=bool)]
+        assert ((off >= 3.0) & (off <= 4.0)).all()
+
+    def test_symmetric(self, rng):
+        p = random_platform(5, rng)
+        bw = p.bandwidth_matrix
+        assert np.allclose(bw, bw.T)
+
+    def test_asymmetric(self, rng):
+        p = random_platform(5, rng, symmetric=False)
+        bw = p.bandwidth_matrix
+        assert not np.allclose(bw, bw.T)
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(InvalidPlatformError):
+            random_platform(0, rng)
+        with pytest.raises(InvalidPlatformError):
+            random_platform(3, rng, speed_range=(0.0, 1.0))

@@ -1,0 +1,240 @@
+"""Hypothesis property-based tests on the core structures and invariants."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    overlap_throughput,
+    pattern_enabling_count,
+    pattern_state_count,
+    pattern_throughput_homogeneous,
+)
+from repro.core.pattern import CommPattern, build_pattern_tpn
+from repro.distributions import make_distribution
+from repro.mapping.roundrobin import all_paths, lcm_all
+from repro.maxplus import TokenGraph, max_cycle_ratio, max_cycle_ratio_brute_force
+from repro.petri import build_overlap_tpn, build_strict_tpn, is_feed_forward, is_live
+
+from tests.conftest import make_mapping
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+coprime_sides = st.tuples(
+    st.integers(1, 6), st.integers(1, 6)
+).filter(lambda t: math.gcd(*t) == 1)
+
+replications = st.lists(st.integers(1, 4), min_size=1, max_size=4).filter(
+    lambda r: lcm_all(r) <= 24
+)
+
+
+def mapping_from_replication(reps: list[int]):
+    teams, k = [], 0
+    for r in reps:
+        teams.append(list(range(k, k + r)))
+        k += r
+    return make_mapping(teams)
+
+
+# ----------------------------------------------------------------------
+# Round-robin structure (Proposition 1)
+# ----------------------------------------------------------------------
+class TestRoundRobinProperties:
+    @given(replications)
+    def test_path_count_is_lcm(self, reps):
+        teams = []
+        k = 0
+        for r in reps:
+            teams.append(list(range(k, k + r)))
+            k += r
+        paths = all_paths(teams)
+        assert len(paths) == lcm_all(reps)
+        assert len(set(paths)) == len(paths)
+
+    @given(replications)
+    def test_each_processor_serves_fair_share(self, reps):
+        """Round-robin fairness: processor p of stage i serves m/R_i rows."""
+        mp = mapping_from_replication(reps)
+        m = mp.n_rows
+        for i, team in enumerate(mp.teams):
+            for p in team:
+                assert len(mp.rows_of(i, p)) == m // len(team)
+
+
+# ----------------------------------------------------------------------
+# Pattern combinatorics (Theorems 3/4)
+# ----------------------------------------------------------------------
+class TestPatternProperties:
+    @given(coprime_sides)
+    def test_state_count_symmetry(self, sides):
+        u, v = sides
+        assert pattern_state_count(u, v) == pattern_state_count(v, u)
+
+    @given(coprime_sides)
+    def test_enabling_fraction(self, sides):
+        u, v = sides
+        s, sp = pattern_state_count(u, v), pattern_enabling_count(u, v)
+        assert sp * (u + v - 1) == s
+
+    @given(coprime_sides, st.floats(0.1, 10.0))
+    def test_homogeneous_throughput_bounds(self, sides, lam):
+        """min(u,v)λ/2 < ρ_exp <= min(u,v)λ (Fig. 15's ratio range)."""
+        u, v = sides
+        rho = pattern_throughput_homogeneous(u, v, lam)
+        det = min(u, v) * lam
+        assert det / 2 < rho <= det * (1 + 1e-12)
+
+    @given(coprime_sides)
+    @settings(max_examples=15, deadline=None)
+    def test_pattern_net_is_live(self, sides):
+        u, v = sides
+        tpn = build_pattern_tpn(CommPattern.homogeneous(u, v, 1.0))
+        assert is_live(tpn)
+        assert int(tpn.initial_marking().sum()) == u + v
+
+    @given(coprime_sides, st.lists(st.floats(0.2, 5.0), min_size=36, max_size=36))
+    @settings(max_examples=10, deadline=None)
+    def test_heterogeneous_det_below_fastest_hom(self, sides, raw):
+        from repro.core.pattern import pattern_throughput_deterministic
+
+        u, v = sides
+        means = tuple(raw[: u * v])
+        assume(len(means) == u * v)
+        rho = pattern_throughput_deterministic(CommPattern(u, v, means))
+        fastest = min(u, v) / min(means)
+        slowest = min(u, v) / max(means)
+        assert slowest * (1 - 1e-9) <= rho <= fastest * (1 + 1e-9)
+
+
+# ----------------------------------------------------------------------
+# Max-plus solver vs oracle
+# ----------------------------------------------------------------------
+class TestMaxPlusProperties:
+    @given(
+        st.integers(2, 5),
+        st.data(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_cycle_ratio_matches_oracle(self, n, data):
+        g = TokenGraph(n)
+        perm = data.draw(st.permutations(range(n)))
+        for i in range(n):
+            g.add_arc(
+                perm[i],
+                perm[(i + 1) % n],
+                weight=data.draw(st.floats(0.0, 10.0)),
+                tokens=data.draw(st.integers(1, 3)),
+            )
+        extra = data.draw(st.integers(0, 4))
+        for _ in range(extra):
+            g.add_arc(
+                data.draw(st.integers(0, n - 1)),
+                data.draw(st.integers(0, n - 1)),
+                weight=data.draw(st.floats(0.0, 10.0)),
+                tokens=data.draw(st.integers(1, 2)),
+            )
+        res = max_cycle_ratio(g)
+        oracle = max_cycle_ratio_brute_force(g)
+        assert res is not None and oracle is not None
+        assert res.ratio == pytest.approx(oracle.ratio, rel=1e-9, abs=1e-9)
+
+    @given(st.floats(0.1, 10.0), st.integers(1, 5))
+    def test_scaling_law(self, scale, tokens):
+        """Scaling weights scales the ratio; scaling tokens divides it."""
+        g1 = TokenGraph(2)
+        g1.add_arc(0, 1, weight=2.0, tokens=1)
+        g1.add_arc(1, 0, weight=3.0, tokens=tokens)
+        g2 = TokenGraph(2)
+        g2.add_arc(0, 1, weight=2.0 * scale, tokens=1)
+        g2.add_arc(1, 0, weight=3.0 * scale, tokens=tokens)
+        r1, r2 = max_cycle_ratio(g1), max_cycle_ratio(g2)
+        assert r2.ratio == pytest.approx(r1.ratio * scale, rel=1e-9)
+
+
+# ----------------------------------------------------------------------
+# TPN invariants under random mappings
+# ----------------------------------------------------------------------
+class TestTpnProperties:
+    @given(replications)
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_overlap_net_invariants(self, reps):
+        mp = mapping_from_replication(reps)
+        tpn = build_overlap_tpn(mp)
+        assert is_feed_forward(tpn)
+        assert is_live(tpn)
+        assert tpn.n_transitions == mp.n_rows * (2 * len(reps) - 1)
+
+    @given(replications)
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_strict_net_invariants(self, reps):
+        mp = mapping_from_replication(reps)
+        tpn = build_strict_tpn(mp)
+        assert is_live(tpn)
+        # Same transition grid as Overlap; only the places change.
+        assert tpn.n_transitions == mp.n_rows * (2 * len(reps) - 1)
+
+    @given(replications)
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_throughput_orderings(self, reps):
+        """det >= exp (Theorem 7) and unbounded >= bottleneck, per mapping."""
+        mp = mapping_from_replication(reps)
+        det = overlap_throughput(mp, "deterministic")
+        exp = overlap_throughput(mp, "exponential")
+        bot = overlap_throughput(mp, "exponential", semantics="bottleneck")
+        assert exp <= det * (1 + 1e-9)
+        assert bot <= exp * (1 + 1e-9)
+
+
+# ----------------------------------------------------------------------
+# Distribution invariants
+# ----------------------------------------------------------------------
+class TestDistributionProperties:
+    FAMILIES = [
+        ("deterministic", {}),
+        ("exponential", {}),
+        ("uniform", {}),
+        ("gamma", {"shape": 2.0}),
+        ("gamma", {"shape": 0.5}),
+        ("beta", {"shape": 2.0}),
+        ("weibull", {"shape": 1.5}),
+        ("hyperexponential", {"cv2": 3.0}),
+        ("lognormal", {"sigma": 0.7}),
+        ("erlang", {"k": 3}),
+    ]
+
+    @given(st.floats(0.01, 1000.0), st.sampled_from(FAMILIES))
+    @settings(max_examples=60, deadline=None)
+    def test_mean_is_exact(self, mean, fam):
+        family, params = fam
+        d = make_distribution(family, mean, **params)
+        assert d.mean == pytest.approx(mean, rel=1e-6)
+
+    @given(
+        st.floats(0.01, 100.0),
+        st.floats(0.01, 100.0),
+        st.sampled_from(FAMILIES),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_with_mean_is_scale_family(self, m1, m2, fam):
+        family, params = fam
+        d = make_distribution(family, m1, **params)
+        d2 = d.with_mean(m2)
+        assert d2.mean == pytest.approx(m2, rel=1e-6)
+        assert d2.cv2 == pytest.approx(d.cv2, rel=1e-6, abs=1e-12)
+        assert d2.is_nbue == d.is_nbue
+
+    @given(st.floats(0.1, 10.0), st.sampled_from(FAMILIES), st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_sampling_deterministic_under_seed(self, mean, fam, seed):
+        family, params = fam
+        d = make_distribution(family, mean, **params)
+        a = d.sample(np.random.default_rng(seed), 16)
+        b = d.sample(np.random.default_rng(seed), 16)
+        assert np.array_equal(np.asarray(a), np.asarray(b))

@@ -1,0 +1,136 @@
+"""Tests for periodic-schedule extraction and the mapping heuristics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Application, Platform
+from repro.core import tpn_throughput_classic, overlap_throughput
+from repro.core.schedule import periodic_schedule
+from repro.exceptions import StructuralError
+from repro.mapping.heuristics import (
+    balanced_replication,
+    greedy_hill_climb,
+    random_restart_search,
+)
+from repro.petri import build_overlap_tpn, build_strict_tpn
+
+from tests.conftest import make_mapping
+
+
+class TestPeriodicSchedule:
+    def test_single_processor(self):
+        mp = make_mapping([[0]], works=[2.0])
+        sched = periodic_schedule(build_overlap_tpn(mp))
+        assert sched.cycle_time == pytest.approx(2.0)
+        assert sched.cyclicity == 1
+        assert sched.n_transitions == 1
+
+    def test_cycle_time_matches_critical_cycle(self):
+        """λ of the periodic regime is the Section 4 period ``P``.
+
+        Every transition fires once per λ, the last column has ``m``
+        transitions, so ``ρ = m / λ`` — the paper's ``m / P``.
+        """
+        for seed in range(4):
+            mp = make_mapping([[0], [1, 2]], seed=seed)
+            tpn = build_strict_tpn(mp)
+            sched = periodic_schedule(tpn)
+            rho = tpn_throughput_classic(tpn)
+            assert rho == pytest.approx(tpn.n_rows / sched.cycle_time, rel=1e-6)
+
+    def test_overlap_symmetric_net(self):
+        mp = make_mapping([[0, 1], [2, 3, 4]])
+        tpn = build_overlap_tpn(mp)
+        sched = periodic_schedule(tpn)
+        rho = overlap_throughput(mp, "deterministic", semantics="bottleneck")
+        assert rho == pytest.approx(tpn.n_rows / sched.cycle_time, rel=1e-6)
+
+    def test_offsets_shape_and_range(self):
+        mp = make_mapping([[0], [1]], works=[1.0, 2.0], files=[1.5])
+        tpn = build_strict_tpn(mp)
+        sched = periodic_schedule(tpn)
+        assert sched.offsets.shape == (tpn.n_transitions, sched.cyclicity)
+        assert (sched.offsets >= 0).all()
+        assert sched.block_length == pytest.approx(
+            sched.cyclicity * sched.cycle_time
+        )
+
+    def test_heterogeneous_branches_raise(self):
+        """Diverging component rates have no common periodic regime."""
+        mp = make_mapping(
+            [[0], [1, 2]], works=[0.01, 2.0], files=[0.01],
+            speeds=[100.0, 10.0, 0.5],
+        )
+        tpn = build_overlap_tpn(mp)
+        with pytest.raises(StructuralError):
+            periodic_schedule(tpn, max_rounds=120)
+
+    def test_transient_reported(self):
+        mp = make_mapping([[0], [1]], works=[1.0, 3.0], files=[0.5])
+        sched = periodic_schedule(build_strict_tpn(mp))
+        assert sched.transient_rounds >= 0
+
+
+class TestHeuristics:
+    def _instance(self, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        app = Application.from_work(
+            rng.uniform(1.0, 8.0, 3).tolist(), rng.uniform(0.1, 0.5, 2).tolist()
+        )
+        platform = Platform.from_speeds(
+            rng.uniform(1.0, 3.0, 9).tolist(), bandwidth=5.0
+        )
+        return app, platform
+
+    def test_balanced_replication_valid(self):
+        app, platform = self._instance()
+        result = balanced_replication(app, platform)
+        assert result.throughput > 0
+        assert result.mapping.n_stages == app.n_stages
+        # Heavier stages get at least as many replicas.
+        reps = result.mapping.replication
+        works = app.works
+        heaviest = int(np.argmax(works))
+        lightest = int(np.argmin(works))
+        assert reps[heaviest] >= reps[lightest]
+
+    def test_balanced_needs_enough_processors(self):
+        app = Application.uniform(4, 1.0, 1.0)
+        platform = Platform.homogeneous(2, 1.0, 1.0)
+        from repro.exceptions import InvalidMappingError
+
+        with pytest.raises(InvalidMappingError):
+            balanced_replication(app, platform)
+
+    def test_hill_climb_never_worse_than_start(self):
+        app, platform = self._instance(3)
+        from repro.mapping.generators import random_mapping
+
+        rng = np.random.default_rng(1)
+        start = random_mapping(app, platform, rng, max_replication=3)
+        rho0 = overlap_throughput(start, "deterministic")
+        result = greedy_hill_climb(
+            app, platform, seed=1, start=start, max_steps=20
+        )
+        assert result.throughput >= rho0 * (1 - 1e-12)
+
+    def test_restarts_at_least_as_good_as_baseline(self):
+        app, platform = self._instance(7)
+        base = balanced_replication(app, platform)
+        best = random_restart_search(app, platform, n_restarts=3, seed=2)
+        assert best.throughput >= base.throughput * (1 - 1e-12)
+        assert best.evaluations > base.evaluations
+
+    def test_exponential_scoring_below_deterministic(self):
+        app, platform = self._instance(11)
+        det = random_restart_search(
+            app, platform, mode="deterministic", n_restarts=2, seed=3
+        )
+        exp = random_restart_search(
+            app, platform, mode="exponential", n_restarts=2, seed=3
+        )
+        # The exponential score of any mapping is below its deterministic
+        # score (Theorem 7), hence also for the two optima.
+        assert exp.throughput <= det.throughput * (1 + 1e-9)

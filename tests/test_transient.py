@@ -1,0 +1,132 @@
+"""Tests for transient CTMC analysis and latency metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.markov import CTMC, ctmc_from_tpn
+from repro.petri import build_strict_tpn
+from repro.sim.system_sim import simulate_system
+
+from tests.conftest import make_mapping
+
+
+class TestTransient:
+    def test_matches_matrix_exponential(self):
+        """Uniformization vs scipy expm on a small random chain."""
+        from scipy.linalg import expm
+
+        rng = np.random.default_rng(0)
+        n = 6
+        rows, cols, rates = [], [], []
+        for i in range(n):
+            rows.append(i)
+            cols.append((i + 1) % n)
+            rates.append(float(rng.uniform(0.5, 2.0)))
+        for _ in range(8):
+            i, j = rng.integers(n, size=2)
+            if i != j:
+                rows.append(int(i)); cols.append(int(j))
+                rates.append(float(rng.uniform(0.1, 1.0)))
+        chain = CTMC(n, rows, cols, rates)
+        p0 = np.zeros(n)
+        p0[0] = 1.0
+        q = chain.generator().toarray()
+        for t in (0.0, 0.3, 1.7, 6.0):
+            exact = p0 @ expm(q * t)
+            approx = chain.transient_distribution(p0, t)
+            assert np.allclose(approx, exact, atol=1e-9)
+
+    def test_converges_to_stationary(self):
+        chain = CTMC(2, [0, 1], [1, 0], [2.0, 3.0])
+        p0 = np.array([1.0, 0.0])
+        pt = chain.transient_distribution(p0, 50.0)
+        assert np.allclose(pt, chain.stationary_distribution(), atol=1e-10)
+
+    def test_zero_time_identity(self):
+        chain = CTMC(2, [0, 1], [1, 0], [1.0, 1.0])
+        p0 = np.array([0.25, 0.75])
+        assert np.allclose(chain.transient_distribution(p0, 0.0), p0)
+
+    def test_input_validation(self):
+        from repro.exceptions import StructuralError
+
+        chain = CTMC(2, [0, 1], [1, 0], [1.0, 1.0])
+        with pytest.raises(StructuralError):
+            chain.transient_distribution(np.array([1.0, 0.0, 0.0]), 1.0)
+        with pytest.raises(ValueError):
+            chain.transient_distribution(np.array([1.0, 0.0]), -1.0)
+
+    def test_warmup_rate_rises_to_throughput(self):
+        """The transient counted rate climbs to the stationary value.
+
+        This is the analytical counterpart of Fig. 10's convergence: at
+        t=0 only the first resources are busy, so the completion rate is
+        below its stationary limit and increases with t.
+        """
+        mp = make_mapping([[0], [1]], works=[1.0, 1.0], files=[1.0])
+        tpn = build_strict_tpn(mp)
+        chain, reach = ctmc_from_tpn(tpn)
+        rates = 1.0 / tpn.mean_times()
+        counted = set(tpn.last_column_transitions())
+        state_rates = np.zeros(reach.n_states)
+        for s, moves in enumerate(reach.arcs):
+            state_rates[s] = sum(rates[t] for t, _ in moves if t in counted)
+        p0 = np.zeros(reach.n_states)
+        p0[reach.initial] = 1.0
+        series = [
+            chain.expected_counted_rate_at(p0, t, state_rates)
+            for t in (0.5, 2.0, 8.0, 40.0)
+        ]
+        stationary = chain.flow(
+            chain.stationary_distribution(),
+        )
+        # Monotone-ish rise towards the stationary counted rate.
+        assert series[0] < series[-1]
+        pi = chain.stationary_distribution()
+        limit = float(pi @ state_rates)
+        assert series[-1] == pytest.approx(limit, rel=1e-6)
+
+
+class TestLatency:
+    def test_latency_recorded_and_positive(self):
+        mp = make_mapping([[0], [1, 2]], works=[1.0, 2.0], files=[0.5])
+        sim = simulate_system(
+            mp, "overlap", n_datasets=2000, law="deterministic", seed=0
+        )
+        stats = sim.latency_stats()
+        assert 0 < stats["p50"] <= stats["p95"] <= stats["max"]
+        assert stats["mean"] > 0
+
+    def test_balanced_deterministic_latency_is_flat(self):
+        """No queueing in a balanced constant pipeline: latency = path time."""
+        mp = make_mapping([[0], [1]], works=[1.0, 1.0], files=[1.0])
+        sim = simulate_system(
+            mp, "overlap", n_datasets=500, law="deterministic", seed=0
+        )
+        stats = sim.latency_stats()
+        # comp1 + comm + comp2 = 3.0 for every data set after warm-up.
+        assert stats["p50"] == pytest.approx(3.0)
+        assert stats["max"] == pytest.approx(3.0)
+
+    def test_bottleneck_grows_latency(self):
+        """A slow last stage builds backlog: latency grows over the run."""
+        mp = make_mapping([[0], [1]], works=[1.0, 3.0], files=[0.1])
+        sim = simulate_system(
+            mp, "overlap", n_datasets=3000, law="deterministic", seed=0
+        )
+        lat = sim.latencies
+        assert lat is not None
+        assert lat[-1] > lat[100] * 5
+
+    def test_tpn_engine_has_no_latency(self):
+        from repro.petri import build_overlap_tpn
+        from repro.sim.tpn_sim import simulate_tpn
+
+        mp = make_mapping([[0]])
+        sim = simulate_tpn(
+            build_overlap_tpn(mp), n_datasets=50, law="deterministic", seed=0
+        )
+        with pytest.raises(ValueError):
+            sim.latency_stats()
