@@ -1,0 +1,203 @@
+"""Engine micro-benchmarks feeding the performance trajectory.
+
+``python -m repro.cli bench`` runs every engine below and writes a JSON
+report (``BENCH_PR1.json`` by default) mapping each engine to its median
+wall time plus the state/event counts that give the timings a scale.
+Subsequent PRs append ``BENCH_PR<n>.json`` files, so regressions in any
+layer show up as a broken trajectory.
+
+Benchmarked engines:
+
+* ``reachability.vectorized`` / ``reachability.reference`` — the batched
+  and the marking-at-a-time BFS on a mid-size bounded (Strict) net;
+* ``markov.throughput`` — Theorem 2 end-to-end (explore + CTMC + solve);
+* ``sim.fast`` / ``sim.reference`` — both discrete-event engines on the
+  paper's Overlap system;
+* ``replicate.serial`` / ``replicate.parallel`` — the replication runner
+  with ``n_jobs=1`` vs all cores;
+* ``maxplus.matmul`` — the row-blocked (max,+) product.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+from collections.abc import Callable
+from functools import partial
+
+import numpy as np
+
+
+def _timed(fn: Callable[[], object], repeats: int) -> tuple[float, object]:
+    """Median wall time over ``repeats`` runs and the last return value.
+
+    One untimed warm-up call precedes the measurement, so lazy imports and
+    first-touch allocations don't skew whichever engine runs first.
+    """
+    fn()
+    times = []
+    value = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        value = fn()
+        times.append(time.perf_counter() - t0)
+    return statistics.median(times), value
+
+
+def _mid_size_strict_net(quick: bool):
+    """A bounded Strict-model net sized for the reachability benchmark.
+
+    ``quick`` keeps the state space near 1k markings (CI smoke); the full
+    benchmark explores ~10k markings / 44k arcs, matching the mid-size
+    nets of ``benchmarks/bench_solvers.py``.
+    """
+    from repro import Application, Mapping, Platform
+    from repro.petri import build_strict_tpn
+
+    teams = [[0], [1, 2], [3, 4, 5]] if quick else [[0, 1], [2, 3, 4], [5, 6, 7]]
+    n = len(teams)
+    m = max(p for team in teams for p in team) + 1
+    app = Application.from_work([1.0] * n, [1.0] * (n - 1))
+    r = np.random.default_rng(1)
+    speeds = r.uniform(0.5, 2.0, m).tolist()
+    bw = r.uniform(0.5, 2.0, (m, m))
+    bw = np.triu(bw, 1)
+    bw = bw + bw.T + np.eye(m)
+    platform = Platform.from_speeds(speeds, bw)
+    return build_strict_tpn(Mapping(app, platform, teams))
+
+
+def _sim_run(tpn, n_datasets: int, engine: str, rng: np.random.Generator):
+    from repro.sim import simulate_tpn
+
+    return simulate_tpn(tpn, n_datasets=n_datasets, rng=rng, engine=engine)
+
+
+def run_benchmarks(*, quick: bool = False, repeats: int | None = None) -> dict:
+    """Run the engine micro-benchmarks and return the report dict."""
+    from repro.markov import tpn_throughput_exponential
+    from repro.maxplus.matrix import MaxPlusMatrix
+    from repro.petri import build_overlap_tpn
+    from repro.petri.reachability import explore, explore_reference
+    from repro.experiments.fig10 import paper_system
+    from repro.sim import replicate, simulate_tpn
+
+    if repeats is None:
+        repeats = 2 if quick else 5
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    engines: dict[str, dict] = {}
+
+    # -- reachability -------------------------------------------------
+    strict = _mid_size_strict_net(quick)
+    strict.kernel  # build the cached incidence structures up front
+    max_states = 500_000
+    vec_t, reach = _timed(partial(explore, strict, max_states=max_states), repeats)
+    n_arcs = sum(len(moves) for moves in reach.arcs)
+    engines["reachability.vectorized"] = {
+        "median_s": vec_t, "n_states": reach.n_states, "n_arcs": n_arcs,
+    }
+    ref_t, ref = _timed(
+        partial(explore_reference, strict, max_states=max_states),
+        max(1, repeats // 2),
+    )
+    engines["reachability.reference"] = {
+        "median_s": ref_t, "n_states": ref.n_states,
+        "n_arcs": sum(len(moves) for moves in ref.arcs),
+    }
+
+    # -- exact exponential throughput (Theorem 2, end to end) ---------
+    thr_t, rho = _timed(
+        partial(tpn_throughput_exponential, strict, max_states=max_states),
+        max(1, repeats // 2),
+    )
+    engines["markov.throughput"] = {
+        "median_s": thr_t, "n_states": reach.n_states, "throughput": float(rho),
+    }
+
+    # -- discrete-event simulation ------------------------------------
+    overlap = build_overlap_tpn(paper_system())
+    overlap.kernel
+    n_datasets = 500 if quick else 2000
+    fast_t, fast = _timed(
+        lambda: simulate_tpn(overlap, n_datasets=n_datasets, seed=7, engine="fast"),
+        repeats,
+    )
+    engines["sim.fast"] = {"median_s": fast_t, "n_events": fast.n_events,
+                           "n_datasets": n_datasets}
+    ref_sim_t, ref_sim = _timed(
+        lambda: simulate_tpn(overlap, n_datasets=n_datasets, seed=7,
+                             engine="reference"),
+        max(1, repeats // 2),
+    )
+    engines["sim.reference"] = {"median_s": ref_sim_t, "n_events": ref_sim.n_events,
+                                "n_datasets": n_datasets}
+
+    # -- replication runner -------------------------------------------
+    n_rep = 4 if quick else 16
+    rep_datasets = 100 if quick else 300
+    run = partial(_sim_run, overlap, rep_datasets, "fast")
+    serial_t, serial = _timed(
+        partial(replicate, run, n_replications=n_rep, seed=11), max(1, repeats // 2)
+    )
+    engines["replicate.serial"] = {
+        "median_s": serial_t, "n_replications": n_rep, "mean": serial.mean,
+    }
+    n_jobs = max(1, os.cpu_count() or 1)
+    par_t, par = _timed(
+        partial(replicate, run, n_replications=n_rep, seed=11, n_jobs=n_jobs),
+        max(1, repeats // 2),
+    )
+    engines["replicate.parallel"] = {
+        "median_s": par_t, "n_replications": n_rep, "n_jobs": n_jobs,
+        "mean": par.mean, "bit_identical_to_serial": par == serial,
+    }
+
+    # -- (max,+) matrix product ---------------------------------------
+    n = 96 if quick else 192
+    rng = np.random.default_rng(2)
+    a = rng.uniform(0.0, 5.0, (n, n))
+    a[rng.random((n, n)) < 0.5] = -np.inf
+    mat = MaxPlusMatrix(a)
+    mm_t, _ = _timed(lambda: mat @ mat, repeats)
+    engines["maxplus.matmul"] = {"median_s": mm_t, "n": n}
+
+    def _ratio(num: str, den: str) -> float:
+        return engines[num]["median_s"] / max(engines[den]["median_s"], 1e-12)
+
+    return {
+        "meta": {
+            "bench": "engine microbenchmarks",
+            "quick": quick,
+            "repeats": repeats,
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+        },
+        "engines": engines,
+        "speedups": {
+            "reachability": _ratio("reachability.reference",
+                                   "reachability.vectorized"),
+            "sim": _ratio("sim.reference", "sim.fast"),
+            "replicate": _ratio("replicate.serial", "replicate.parallel"),
+        },
+    }
+
+
+def write_report(report: dict, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def render_report(report: dict) -> str:
+    lines = ["engine                       median_s      scale"]
+    for name, row in sorted(report["engines"].items()):
+        scale = {k: v for k, v in row.items() if k != "median_s"}
+        detail = ", ".join(f"{k}={v}" for k, v in scale.items())
+        lines.append(f"{name:28s} {row['median_s']:9.4f}      {detail}")
+    lines.append("")
+    for key, ratio in sorted(report["speedups"].items()):
+        lines.append(f"speedup[{key}] = {ratio:.2f}x")
+    return "\n".join(lines)

@@ -5,6 +5,7 @@ Usage::
     python -m repro.cli list
     python -m repro.cli run fig13
     python -m repro.cli run all --scale 0.1
+    python -m repro.cli bench --quick
 """
 
 from __future__ import annotations
@@ -53,7 +54,40 @@ def main(argv: list[str] | None = None) -> int:
         default=1.0,
         help="workload scale in (0, 1]; <1 shrinks dataset counts",
     )
+    benchp = sub.add_parser(
+        "bench", help="run the engine micro-benchmarks and write a JSON report"
+    )
+    benchp.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller nets and fewer repeats (CI smoke mode)",
+    )
+    benchp.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="timing repeats per engine (default: 5, or 2 with --quick)",
+    )
+    benchp.add_argument(
+        "--output",
+        default="BENCH_PR1.json",
+        help="path of the JSON report (default: %(default)s)",
+    )
     args = parser.parse_args(argv)
+
+    if args.command == "bench":
+        from repro.bench import render_report, run_benchmarks, write_report
+
+        if args.repeats is not None and args.repeats < 1:
+            parser.error("--repeats must be >= 1")
+        report = run_benchmarks(quick=args.quick, repeats=args.repeats)
+        print(render_report(report))
+        try:
+            write_report(report, args.output)
+        except OSError as exc:
+            parser.error(f"cannot write {args.output}: {exc}")
+        print(f"\nwrote {args.output}")
+        return 0
 
     if args.command == "list":
         for name, module in ALL_EXPERIMENTS.items():

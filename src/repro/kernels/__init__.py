@@ -1,0 +1,11 @@
+"""Shared performance kernels consumed by the petri, markov and sim layers.
+
+The kernel layer turns a :class:`~repro.petri.net.TimedEventGraph` into
+flat numpy structures once, so every hot loop downstream (reachability
+BFS, CTMC assembly, discrete-event simulation) works on contiguous arrays
+instead of Python lists of dataclasses.
+"""
+
+from repro.kernels.incidence import IncidenceKernel
+
+__all__ = ["IncidenceKernel"]

@@ -48,17 +48,9 @@ def ctmc_from_tpn(
     if rates.shape != (tpn.n_transitions,):
         raise StructuralError("rates vector must have one entry per transition")
     reach = explore(tpn, max_states=max_states, place_bound=place_bound)
-    rows: list[int] = []
-    cols: list[int] = []
-    vals: list[float] = []
-    for s, moves in enumerate(reach.arcs):
-        for t, s2 in moves:
-            if s2 == s:
-                continue  # self-loop: invisible to the stationary law
-            rows.append(s)
-            cols.append(s2)
-            vals.append(float(rates[t]))
-    chain = CTMC(reach.n_states, rows, cols, vals)
+    src, trans, dst = reach.flat_arcs()
+    moving = src != dst  # self-loops: invisible to the stationary law
+    chain = CTMC(reach.n_states, src[moving], dst[moving], rates[trans[moving]])
     return chain, reach
 
 
@@ -84,13 +76,13 @@ def tpn_throughput_exponential(
         tpn, rates, max_states=max_states, place_bound=place_bound
     )
     pi = chain.stationary_distribution(method=method)
-    counted_set = (
-        set(tpn.last_column_transitions()) if counted is None else set(counted)
-    )
-    rho = 0.0
-    for s, moves in enumerate(reach.arcs):
-        if pi[s] == 0.0:
-            continue
-        rate_sum = sum(float(rates[t]) for t, _ in moves if t in counted_set)
-        rho += float(pi[s]) * rate_sum
-    return rho
+    counted_ix = tpn.last_column_transitions() if counted is None else list(counted)
+    if any(not 0 <= t < tpn.n_transitions for t in counted_ix):
+        raise StructuralError(
+            f"counted transition indices must be in 0..{tpn.n_transitions - 1}"
+        )
+    counted_mask = np.zeros(tpn.n_transitions, dtype=bool)
+    counted_mask[counted_ix] = True
+    src, trans, _ = reach.flat_arcs()
+    keep = counted_mask[trans]
+    return float(np.sum(pi[src[keep]] * rates[trans[keep]]))

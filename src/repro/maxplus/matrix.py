@@ -61,18 +61,27 @@ class MaxPlusMatrix:
         return f"MaxPlusMatrix(n={self.n})"
 
     # ------------------------------------------------------------------
+    #: Row-block budget for :meth:`matmul` temporaries, in float64 elements
+    #: (8 MB). The block height adapts so the broadcast scratch stays
+    #: ``O(n²)`` memory however large the matrix gets.
+    _BLOCK_ELEMENTS = 1 << 20
+
     def matmul(self, other: "MaxPlusMatrix") -> "MaxPlusMatrix":
         """Semiring product ``(A ⊗ B)[i,j] = max_k (A[i,k] + B[k,j])``.
 
-        Vectorized with broadcasting: one temporary of shape ``(n, n, n)``
-        — fine for the modest sizes used here (the throughput algorithms
-        operate on graphs, not on explicit matrix powers).
+        Vectorized with broadcasting, row-blocked: the scratch tensor for
+        a block of ``r`` rows has shape ``(r, n, n)``, and ``r`` is chosen
+        so it stays within :attr:`_BLOCK_ELEMENTS` — O(n²) memory overall
+        instead of the full ``(n, n, n)`` temporary.
         """
         a, b = self._a, other._a
-        # errstate: -inf + -inf is fine, but numpy warns on -inf + inf; we
-        # never build +inf entries so only silence nothing-burgers.
-        stacked = a[:, :, None] + b[None, :, :]
-        return MaxPlusMatrix(stacked.max(axis=1))
+        n = self.n
+        rows = max(1, min(n, self._BLOCK_ELEMENTS // max(1, n * n)))
+        out = np.empty_like(a)
+        for i0 in range(0, n, rows):
+            i1 = min(n, i0 + rows)
+            out[i0:i1] = (a[i0:i1, :, None] + b[None, :, :]).max(axis=1)
+        return MaxPlusMatrix(out)
 
     def __matmul__(self, other: "MaxPlusMatrix") -> "MaxPlusMatrix":
         return self.matmul(other)

@@ -14,7 +14,7 @@ from repro.petri.analysis import (
     transition_digraph,
     validate,
 )
-from repro.petri.reachability import ReachabilityResult, explore
+from repro.petri.reachability import ReachabilityResult, explore, explore_reference
 
 __all__ = [
     "Place",
@@ -34,6 +34,7 @@ __all__ = [
     "validate",
     "ReachabilityResult",
     "explore",
+    "explore_reference",
 ]
 
 

@@ -127,6 +127,24 @@ class TimedEventGraph:
             table[p.src].append(p.index)
         return table
 
+    @cached_property
+    def kernel(self):
+        """Cached :class:`~repro.kernels.IncidenceKernel` of this net.
+
+        Flat incidence matrices and adjacency shared by the reachability
+        explorer, the Markov builder and the simulator fast path. Like the
+        other cached topology accessors, build the net fully before first
+        access.
+        """
+        from repro.kernels import IncidenceKernel
+
+        return IncidenceKernel.from_net(self)
+
+    def incidence_matrices(self) -> tuple[np.ndarray, np.ndarray]:
+        """The (consumption, production) int8 incidence matrices."""
+        k = self.kernel
+        return k.consumption, k.production
+
     @property
     def n_transitions(self) -> int:
         return len(self.transitions)

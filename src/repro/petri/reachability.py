@@ -7,11 +7,18 @@ Markov layer turns into a CTMC.
 
 Markings are encoded as ``bytes`` of per-place token counts — compact,
 hashable, and cheap to decode back into numpy vectors.
+
+Two implementations share the same contract: :func:`explore` expands the
+BFS frontier in vectorized batches through the net's
+:class:`~repro.kernels.IncidenceKernel`, while :func:`explore_reference`
+keeps the original marking-at-a-time loop as a cross-checked oracle. Both
+enumerate states in identical BFS discovery order, so their results are
+equal field-for-field.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -22,6 +29,11 @@ from repro.petri.net import TimedEventGraph
 #: place means the net is unbounded (feed-forward Overlap without
 #: capacities) and the exploration would never terminate.
 PLACE_BOUND = 64
+
+#: Hard ceiling on ``place_bound``: markings are keyed by their uint8
+#: byte encoding, so token counts above 255 would silently alias
+#: distinct markings onto the same key.
+MAX_PLACE_BOUND = 255
 
 
 @dataclass
@@ -38,6 +50,9 @@ class ReachabilityResult:
     arcs: list[list[tuple[int, int]]]
     initial: int
     n_places: int
+    _flat: tuple[np.ndarray, np.ndarray, np.ndarray] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def n_states(self) -> int:
@@ -47,6 +62,135 @@ class ReachabilityResult:
         """Decode a state back into a token-count vector."""
         return np.frombuffer(self.states[state], dtype=np.uint8).astype(np.int64)
 
+    def flat_arcs(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The arcs as three parallel int64 arrays ``(src, trans, dst)``.
+
+        Cached; the Markov layer assembles the CTMC and the throughput
+        extractor from these with numpy gathers instead of nested loops.
+        """
+        if self._flat is None:
+            n_arcs = sum(len(moves) for moves in self.arcs)
+            src = np.empty(n_arcs, dtype=np.int64)
+            trans = np.empty(n_arcs, dtype=np.int64)
+            dst = np.empty(n_arcs, dtype=np.int64)
+            k = 0
+            for s, moves in enumerate(self.arcs):
+                for t, s2 in moves:
+                    src[k] = s
+                    trans[k] = t
+                    dst[k] = s2
+                    k += 1
+            self._flat = (src, trans, dst)
+        return self._flat
+
+
+def _validate_place_bound(place_bound: int) -> None:
+    if not 1 <= place_bound <= MAX_PLACE_BOUND:
+        raise ValueError(
+            f"place_bound must be in 1..{MAX_PLACE_BOUND} (markings are keyed "
+            f"as uint8 token counts), got {place_bound}"
+        )
+
+
+def explore(
+    tpn: TimedEventGraph,
+    *,
+    max_states: int = 200_000,
+    place_bound: int = PLACE_BOUND,
+) -> ReachabilityResult:
+    """Breadth-first enumeration of the reachable markings (vectorized).
+
+    The frontier is expanded in batches: one float32 matrix product
+    against the consumption incidence matrix yields the enabled mask of
+    the whole batch, one broadcast add of the delta matrix yields every
+    successor marking, and deduplication slices keys out of a single
+    contiguous byte buffer per batch. Produces the exact result of
+    :func:`explore_reference` (same state numbering, same arc order).
+
+    Raises
+    ------
+    ValueError
+        When ``place_bound`` is outside ``1..255`` (uint8 keying).
+    StateSpaceLimitError
+        When more than ``max_states`` markings are reachable.
+    StructuralError
+        When a place accumulates more than ``place_bound`` tokens —
+        the symptom of an unbounded (feed-forward) net.
+    """
+    _validate_place_bound(place_bound)
+    if tpn.n_places == 0:
+        raise StructuralError("cannot explore a net without places")
+    kern = tpn.kernel
+    n_p = tpn.n_places
+
+    m0 = tpn.initial_marking()
+    if (m0 > place_bound).any():
+        raise StructuralError("initial marking exceeds the place bound")
+    init_key = m0.astype(np.uint8).tobytes()
+
+    # Markings live in one int16 arena with capacity doubling; token
+    # counts are bounded by 255 so int16 holds every reachable marking
+    # and the uint8 key cast below never wraps.
+    markings = np.empty((256, n_p), dtype=np.int16)
+    markings[0] = m0
+    index: dict[bytes, int] = {init_key: 0}
+    states: list[bytes] = [init_key]
+    arcs: list[list[tuple[int, int]]] = []
+    n = 1
+    head = 0
+    # Batch width bounded so the (batch, n_transitions) float32 enabled
+    # mask and the successor block stay a few MB.
+    batch = max(1, min(4096, (1 << 21) // max(1, kern.n_transitions)))
+    while head < n:
+        hi = min(n, head + batch)
+        frontier = markings[head:hi]
+        mask = kern.enabled(frontier)
+        # nonzero is row-major: state-ascending, transition-ascending
+        # within a state — the reference exploration order.
+        local_s, trans = np.nonzero(mask)
+        over_bound = None
+        if local_s.size:
+            succ = kern.successors(frontier, local_s, trans)
+            if int(succ.max()) > place_bound:
+                # Defer to the per-arc loop below so the error raised (and
+                # its interleaving with StateSpaceLimitError) matches the
+                # reference arc order exactly; the batch never survives.
+                over_bound = (succ > place_bound).any(axis=1).tolist()
+            buf = succ.astype(np.uint8).tobytes()
+        per_state = np.diff(np.searchsorted(local_s, np.arange(hi - head + 1)))
+        trans_l = trans.tolist()
+        k = 0
+        for count in per_state.tolist():
+            out: list[tuple[int, int]] = []
+            for _ in range(count):
+                if over_bound is not None and over_bound[k]:
+                    raise StructuralError(
+                        f"place bound {place_bound} exceeded: the net is "
+                        "unbounded (add buffer capacities or use the "
+                        "decomposition method)"
+                    )
+                key = buf[k * n_p:(k + 1) * n_p]
+                s2 = index.get(key)
+                if s2 is None:
+                    s2 = n
+                    if s2 >= max_states:
+                        raise StateSpaceLimitError(max_states)
+                    index[key] = s2
+                    states.append(key)
+                    if n == markings.shape[0]:
+                        markings = np.concatenate([markings, np.empty_like(markings)])
+                    markings[n] = succ[k]
+                    n += 1
+                out.append((trans_l[k], s2))
+                k += 1
+            arcs.append(out)
+        head = hi
+    return ReachabilityResult(states=states, arcs=arcs, initial=0, n_places=tpn.n_places)
+
+
+# ----------------------------------------------------------------------
+# Reference implementation (cross-checked oracle for the vectorized BFS)
+# ----------------------------------------------------------------------
 
 def _enabled(marking: np.ndarray, in_places: list[list[int]]) -> list[int]:
     out = []
@@ -61,22 +205,16 @@ def _enabled(marking: np.ndarray, in_places: list[list[int]]) -> list[int]:
     return out
 
 
-def explore(
+def explore_reference(
     tpn: TimedEventGraph,
     *,
     max_states: int = 200_000,
     place_bound: int = PLACE_BOUND,
 ) -> ReachabilityResult:
-    """Breadth-first enumeration of the reachable markings.
-
-    Raises
-    ------
-    StateSpaceLimitError
-        When more than ``max_states`` markings are reachable.
-    StructuralError
-        When a place accumulates more than ``place_bound`` tokens —
-        the symptom of an unbounded (feed-forward) net.
+    """Marking-at-a-time BFS — the original implementation, kept as the
+    equivalence oracle for :func:`explore`.
     """
+    _validate_place_bound(place_bound)
     if tpn.n_places == 0:
         raise StructuralError("cannot explore a net without places")
     in_places = tpn.in_places

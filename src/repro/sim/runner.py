@@ -7,8 +7,12 @@ standard deviation of the throughput estimator.
 
 from __future__ import annotations
 
+import pickle
+import warnings
 from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
@@ -33,30 +37,65 @@ class ReplicationSummary:
         return self.std / self.mean if self.mean else 0.0
 
 
+def _replication_value(
+    run: Callable[[np.random.Generator], SimulationResult],
+    estimator: str,
+    rng: np.random.Generator,
+) -> float:
+    result = run(rng)
+    return (
+        result.throughput
+        if estimator == "total"
+        else result.steady_state_throughput()
+    )
+
+
 def replicate(
     run: Callable[[np.random.Generator], SimulationResult],
     *,
     n_replications: int,
     seed: int = 0,
     estimator: str = "total",
+    n_jobs: int = 1,
 ) -> ReplicationSummary:
     """Run ``n_replications`` independent simulations and summarize.
 
     ``run`` receives a child generator spawned from ``seed`` (independent
     streams). ``estimator`` selects ``"total"`` (paper's completed/total
     time) or ``"steady"`` (warm-up discarded).
+
+    ``n_jobs > 1`` fans the replications out over a process pool. The
+    streams are already independent and the per-replication estimates are
+    folded into the summary in stream order regardless of completion
+    order, so the result is bit-identical to a serial run with the same
+    seed. ``run`` must be picklable (a module-level function or
+    ``functools.partial`` thereof) to cross the process boundary; a
+    non-picklable callable falls back to serial execution with a warning.
     """
     if n_replications < 1:
         raise ValueError("n_replications must be >= 1")
+    if n_jobs < 1:
+        raise ValueError("n_jobs must be >= 1")
     streams = np.random.default_rng(seed).spawn(n_replications)
-    stats = OnlineStats()
-    for rng in streams:
-        result = run(rng)
-        value = (
-            result.throughput
-            if estimator == "total"
-            else result.steady_state_throughput()
+    n_jobs = min(n_jobs, n_replications)
+    if n_jobs > 1 and not _picklable(run):
+        warnings.warn(
+            "replicate(): `run` is not picklable; falling back to serial "
+            "execution (pass a module-level function or functools.partial "
+            "to enable n_jobs)",
+            RuntimeWarning,
+            stacklevel=2,
         )
+        n_jobs = 1
+    worker = partial(_replication_value, run, estimator)
+    if n_jobs > 1:
+        chunksize = max(1, n_replications // (4 * n_jobs))
+        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+            values = list(pool.map(worker, streams, chunksize=chunksize))
+    else:
+        values = [worker(rng) for rng in streams]
+    stats = OnlineStats()
+    for value in values:
         stats.push(value)
     return ReplicationSummary(
         n_replications=n_replications,
@@ -66,6 +105,14 @@ def replicate(
         max=stats.max,
         ci95=normal_confidence_interval(stats.mean, stats.std, stats.n),
     )
+
+
+def _picklable(obj) -> bool:
+    try:
+        pickle.dumps(obj)
+    except Exception:
+        return False
+    return True
 
 
 def throughput_vs_datasets(
