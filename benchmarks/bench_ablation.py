@@ -10,8 +10,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core import exponential_throughput, overlap_throughput
 from repro.mapping.examples import single_communication
 from repro.petri import build_overlap_tpn

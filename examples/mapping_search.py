@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import Application, Platform
+from repro import Application, Platform, StructureCache
 from repro.mapping.heuristics import (
     balanced_replication,
     greedy_hill_climb,
@@ -39,25 +39,34 @@ def main() -> None:
         rng.choice([1e9, 2e9, 4e9], size=12).tolist(), bandwidth=1e9
     )
 
-    print("mapping heuristics, scored by the exact Overlap evaluators\n")
+    print("mapping heuristics, scored through the repro.evaluate registry\n")
     for mode in ("deterministic", "exponential"):
-        base = balanced_replication(app, platform, mode=mode)
-        climb = greedy_hill_climb(app, platform, mode=mode, seed=0)
+        # One shared structure cache: candidates revisited by any of the
+        # three heuristics (or isomorphic relabellings of one) are scored
+        # exactly once across the whole block.
+        cache = StructureCache()
+        base = balanced_replication(app, platform, mode=mode, cache=cache)
+        climb = greedy_hill_climb(app, platform, mode=mode, seed=0, cache=cache)
         multi = random_restart_search(
-            app, platform, mode=mode, n_restarts=4, seed=0
+            app, platform, mode=mode, n_restarts=4, seed=0, cache=cache
         )
-        print(f"scoring = {mode}:")
+        print(f"scoring solver = {mode}:")
         print(
             f"  balanced baseline : {base.throughput:.4f}  "
             f"R = {base.mapping.replication}"
         )
         print(
             f"  hill climb        : {climb.throughput:.4f}  "
-            f"R = {climb.mapping.replication}  ({climb.evaluations} evals)"
+            f"R = {climb.mapping.replication}  ({climb.evaluations} requests)"
         )
         print(
             f"  multi-start       : {multi.throughput:.4f}  "
-            f"R = {multi.mapping.replication}  ({multi.evaluations} evals)\n"
+            f"R = {multi.mapping.replication}  ({multi.evaluations} requests)"
+        )
+        stats = cache.stats()
+        print(
+            f"  evaluator traffic : {stats['requests']} requests -> "
+            f"{stats['misses']} solver runs ({stats['hits']} memo hits)\n"
         )
     print(
         "note: scoring by the exponential evaluator hedges against "

@@ -42,6 +42,14 @@ from repro.core import (
     exponential_throughput,
     throughput_bounds,
 )
+from repro.evaluate import (
+    StructureCache,
+    available_solvers,
+    evaluate,
+    evaluate_many,
+    get_solver,
+    register_solver,
+)
 
 __all__ = [
     "__version__",
@@ -66,4 +74,10 @@ __all__ = [
     "deterministic_throughput",
     "exponential_throughput",
     "throughput_bounds",
+    "StructureCache",
+    "available_solvers",
+    "evaluate",
+    "evaluate_many",
+    "get_solver",
+    "register_solver",
 ]

@@ -15,7 +15,13 @@ Benchmarked engines:
   paper's Overlap system;
 * ``replicate.serial`` / ``replicate.parallel`` — the replication runner
   with ``n_jobs=1`` vs all cores;
-* ``maxplus.matmul`` — the row-blocked (max,+) product.
+* ``maxplus.matmul`` — the row-blocked (max,+) product;
+* ``search.uncached`` / ``search.memoized`` — the multi-start mapping
+  search scored through ``repro.evaluate`` without / with the
+  fingerprint memo (the PR 2 batched-search workload);
+* ``evaluate_many.strict.uncached`` / ``.cached`` — a same-topology
+  candidate batch under the Strict exponential solver, where the cache
+  shares one reachability exploration across the whole batch.
 """
 
 from __future__ import annotations
@@ -164,6 +170,73 @@ def run_benchmarks(*, quick: bool = False, repeats: int | None = None) -> dict:
     mm_t, _ = _timed(lambda: mat @ mat, repeats)
     engines["maxplus.matmul"] = {"median_s": mm_t, "n": n}
 
+    # -- batched mapping search (repro.evaluate) ----------------------
+    from repro import Application, Mapping, Platform
+    from repro.evaluate import StructureCache, evaluate_many
+    from repro.mapping.heuristics import random_restart_search
+
+    # A paper-style instance: heterogeneous works on a homogeneous
+    # platform, where many search moves are throughput-isomorphic and the
+    # fingerprint memo shines (heterogeneous platforms still dedupe
+    # repeats, just fewer of them).
+    s_rng = np.random.default_rng(0)
+    s_app = Application.from_work(
+        s_rng.uniform(1.0, 8.0, 4).tolist(), s_rng.uniform(0.5, 2.0, 3).tolist()
+    )
+    s_plat = Platform.homogeneous(12, 2.0, 1.0)
+    n_restarts = 1 if quick else 3
+
+    def _search(enabled: bool):
+        cache = StructureCache(enabled=enabled)
+        return random_restart_search(
+            s_app, s_plat, n_restarts=n_restarts, seed=2, cache=cache
+        )
+
+    un_t, un = _timed(partial(_search, False), max(1, repeats // 2))
+    engines["search.uncached"] = {
+        "median_s": un_t, "n_restarts": n_restarts,
+        "evaluations": un.evaluations, "solver_runs": un.cache_misses,
+    }
+    memo_t, memo = _timed(partial(_search, True), max(1, repeats // 2))
+    engines["search.memoized"] = {
+        "median_s": memo_t, "n_restarts": n_restarts,
+        "evaluations": memo.evaluations, "solver_runs": memo.cache_misses,
+        "cache_hits": memo.cache_hits,
+        "same_optimum": memo.throughput == un.throughput,
+    }
+
+    # -- same-topology Strict batch: shared reachability ---------------
+    n_cand = 4 if quick else 8
+    b_rng = np.random.default_rng(3)
+    b_app = Application.from_work([1.0, 1.0, 1.0], [0.5, 0.5])
+    teams = [[0], [1, 2], [3, 4, 5]]
+    candidates = [
+        Mapping(
+            b_app,
+            Platform.from_speeds(b_rng.uniform(0.5, 2.0, 6).tolist(), 1.0),
+            teams,
+        )
+        for _ in range(n_cand)
+    ]
+
+    def _batch(enabled: bool):
+        return evaluate_many(
+            candidates,
+            solver="exponential",
+            model="strict",
+            cache=StructureCache(enabled=enabled),
+        )
+
+    bu_t, bu = _timed(partial(_batch, False), max(1, repeats // 2))
+    engines["evaluate_many.strict.uncached"] = {
+        "median_s": bu_t, "n_candidates": n_cand,
+    }
+    bc_t, bc = _timed(partial(_batch, True), max(1, repeats // 2))
+    engines["evaluate_many.strict.cached"] = {
+        "median_s": bc_t, "n_candidates": n_cand,
+        "bit_identical_to_uncached": bu == bc,
+    }
+
     def _ratio(num: str, den: str) -> float:
         return engines[num]["median_s"] / max(engines[den]["median_s"], 1e-12)
 
@@ -181,6 +254,9 @@ def run_benchmarks(*, quick: bool = False, repeats: int | None = None) -> dict:
                                    "reachability.vectorized"),
             "sim": _ratio("sim.reference", "sim.fast"),
             "replicate": _ratio("replicate.serial", "replicate.parallel"),
+            "search": _ratio("search.uncached", "search.memoized"),
+            "evaluate_many.strict": _ratio("evaluate_many.strict.uncached",
+                                           "evaluate_many.strict.cached"),
         },
     }
 

@@ -1,16 +1,19 @@
-"""Command-line driver for the experimental campaign.
+"""Command-line driver for the experimental campaign and the solvers.
 
 Usage::
 
     python -m repro.cli list
     python -m repro.cli run fig13
     python -m repro.cli run all --scale 0.1
-    python -m repro.cli bench --quick
+    python -m repro.cli solve example_a --solver bounds --model strict
+    python -m repro.cli search --solver deterministic --restarts 5 --n-jobs 4
+    python -m repro.cli bench --quick --output BENCH_PR3.json
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 
@@ -37,6 +40,87 @@ def _scaled_config(name: str, module, scale: float):
     return cfg
 
 
+def _named_system(name: str):
+    """Resolve a named example system into a Mapping."""
+    from repro.experiments.fig10 import paper_system
+    from repro.mapping.examples import example_a, example_c
+
+    systems = {
+        "example_a": example_a,
+        "example_c": example_c,
+        "paper": paper_system,
+    }
+    return systems[name]()
+
+
+SYSTEM_CHOICES = ("example_a", "example_c", "paper")
+
+
+def _cmd_solve(args, parser) -> int:
+    from repro.evaluate import StructureCache, evaluate, get_solver
+
+    mapping = _named_system(args.system)
+    if args.solver == "simulation":
+        options = {"n_datasets": args.n_datasets, "seed": args.sim_seed}
+    else:
+        options = {"max_states": args.max_states, "semantics": args.semantics}
+    cache = StructureCache()
+    if args.solver == "bounds":
+        bounds = get_solver("bounds", **options).bounds(
+            mapping, args.model, cache=cache
+        )
+        print(f"system     : {args.system}  {mapping!r}")
+        print(f"model      : {args.model}")
+        print(f"lower (exp): {bounds.lower:.6g}")
+        print(f"upper (cst): {bounds.upper:.6g}")
+        print(f"width      : {bounds.width:.6g}")
+        return 0
+    rho = evaluate(
+        mapping, solver=args.solver, model=args.model, cache=cache, **options
+    )
+    print(f"system     : {args.system}  {mapping!r}")
+    print(f"model      : {args.model}")
+    print(f"solver     : {args.solver}")
+    print(f"throughput : {rho:.6g}")
+    return 0
+
+
+def _cmd_search(args, parser) -> int:
+    import numpy as np
+
+    from repro.application.chain import Application
+    from repro.evaluate import StructureCache
+    from repro.mapping.heuristics import random_restart_search
+    from repro.platform.topology import Platform
+
+    rng = np.random.default_rng(args.seed)
+    app = Application.from_work(
+        rng.uniform(1.0, 8.0, args.stages).tolist(),
+        rng.uniform(0.1, 0.5, args.stages - 1).tolist(),
+    )
+    platform = Platform.from_speeds(
+        rng.uniform(1.0, 3.0, args.processors).tolist(), bandwidth=5.0
+    )
+    cache = StructureCache()
+    result = random_restart_search(
+        app,
+        platform,
+        mode=args.solver,
+        n_restarts=args.restarts,
+        seed=args.seed,
+        n_jobs=args.n_jobs,
+        cache=cache,
+    )
+    print(f"instance   : N={args.stages} stages on M={args.processors} "
+          f"processors (seed {args.seed})")
+    print(f"solver     : {args.solver}")
+    print(f"best       : {result.throughput:.6g}  {result.mapping!r}")
+    print(f"teams      : {[list(t) for t in result.mapping.teams]}")
+    print(f"evaluations: {result.evaluations} requests = "
+          f"{result.cache_misses} solver runs + {result.cache_hits} cache hits")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     from repro.experiments import ALL_EXPERIMENTS
 
@@ -54,6 +138,54 @@ def main(argv: list[str] | None = None) -> int:
         default=1.0,
         help="workload scale in (0, 1]; <1 shrinks dataset counts",
     )
+
+    from repro.evaluate import available_solvers
+
+    solvep = sub.add_parser(
+        "solve", help="score a named example system with a registered solver"
+    )
+    solvep.add_argument("system", choices=SYSTEM_CHOICES)
+    solvep.add_argument(
+        "--solver",
+        choices=available_solvers(),
+        default="deterministic",
+        help="registered solver name (default: %(default)s)",
+    )
+    solvep.add_argument(
+        "--model", choices=("overlap", "strict"), default="overlap"
+    )
+    solvep.add_argument(
+        "--semantics", choices=("unbounded", "bottleneck"), default="unbounded"
+    )
+    solvep.add_argument("--max-states", type=int, default=200_000)
+    solvep.add_argument(
+        "--n-datasets", type=int, default=1_000,
+        help="simulation solver: data sets per run (default: %(default)s)",
+    )
+    solvep.add_argument(
+        "--sim-seed", type=int, default=0,
+        help="simulation solver: base seed (default: %(default)s)",
+    )
+
+    searchp = sub.add_parser(
+        "search",
+        help="mapping search (multi-start hill climb) scored by a named solver",
+    )
+    searchp.add_argument(
+        "--solver",
+        choices=available_solvers(),
+        default="deterministic",
+        help="scoring solver (default: %(default)s)",
+    )
+    searchp.add_argument("--stages", type=int, default=3)
+    searchp.add_argument("--processors", type=int, default=9)
+    searchp.add_argument("--restarts", type=int, default=5)
+    searchp.add_argument("--seed", type=int, default=0)
+    searchp.add_argument(
+        "--n-jobs", type=int, default=1,
+        help="workers for batched candidate scoring (default: serial)",
+    )
+
     benchp = sub.add_parser(
         "bench", help="run the engine micro-benchmarks and write a JSON report"
     )
@@ -73,13 +205,30 @@ def main(argv: list[str] | None = None) -> int:
         default="BENCH_PR1.json",
         help="path of the JSON report (default: %(default)s)",
     )
+    benchp.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite an existing report file (committed PR baselines are "
+        "refused otherwise)",
+    )
     args = parser.parse_args(argv)
+
+    if args.command == "solve":
+        return _cmd_solve(args, parser)
+    if args.command == "search":
+        return _cmd_search(args, parser)
 
     if args.command == "bench":
         from repro.bench import render_report, run_benchmarks, write_report
 
         if args.repeats is not None and args.repeats < 1:
             parser.error("--repeats must be >= 1")
+        if os.path.exists(args.output) and not args.force:
+            parser.error(
+                f"{args.output} already exists (a committed benchmark "
+                "baseline?); pass --force to overwrite or choose another "
+                "--output"
+            )
         report = run_benchmarks(quick=args.quick, repeats=args.repeats)
         print(render_report(report))
         try:

@@ -16,13 +16,13 @@ paper calls the constant and exponential cases "extreme cases".
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.mapping.mapping import Mapping
 from repro.types import ExecutionModel
-from repro.core.components import overlap_throughput
-from repro.core.deterministic import tpn_throughput_deterministic
-from repro.core.exponential import exponential_throughput
-from repro.petri.builder_strict import build_strict_tpn
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.evaluate.cache import StructureCache
 
 
 @dataclass(frozen=True, slots=True)
@@ -55,6 +55,7 @@ def throughput_bounds(
     *,
     semantics: str = "unbounded",
     max_states: int = 200_000,
+    cache: "StructureCache | None" = None,
 ) -> ThroughputBounds:
     """Compute the Theorem 7 bounds for a mapping under either model.
 
@@ -63,17 +64,13 @@ def throughput_bounds(
     noise) — precisely what the Fig. 16 reproduction checks, and what the
     Fig. 17 reproduction violates with non-N.B.U.E. laws. Both bounds use
     the same Overlap ``semantics`` so the sandwich is coherent.
+
+    Delegates to the ``bounds`` solver of :mod:`repro.evaluate`: both
+    halves share one structure cache, so the Strict net is built (and its
+    marking graph explored) once per mapping. Pass ``cache`` to extend
+    the sharing across calls.
     """
-    model = ExecutionModel.coerce(model)
-    if model is ExecutionModel.OVERLAP:
-        upper = overlap_throughput(
-            mapping, "deterministic", semantics=semantics, max_states=max_states
-        )
-        lower = overlap_throughput(
-            mapping, "exponential", semantics=semantics, max_states=max_states
-        )
-    else:
-        tpn = build_strict_tpn(mapping)
-        upper = tpn_throughput_deterministic(tpn)
-        lower = exponential_throughput(mapping, model, max_states=max_states)
-    return ThroughputBounds(lower=lower, upper=upper)
+    from repro.evaluate import get_solver
+
+    solver = get_solver("bounds", semantics=semantics, max_states=max_states)
+    return solver.bounds(mapping, model, cache=cache)

@@ -166,8 +166,7 @@ def overlap_component_dag(
                 label=f"T{i + 1}@P{p}",
                 inner_z=_cpu_inner_z(mapping, i, p, mode),
             )
-            key = ("cpu", i, slot)
-            cid = add(c, key)
+            add(c, ("cpu", i, slot))
             if i > 0:
                 g_prev = mapping.comm_component_count(i - 1)
                 c.preds.append(index[("comm", i - 1, slot % g_prev)])
@@ -184,7 +183,7 @@ def overlap_component_dag(
                         mapping, i, r, mode, max_states=max_states
                     ),
                 )
-                cid = add(c, ("comm", i, r))
+                add(c, ("comm", i, r))
                 for slot in range(mapping.replication[i]):
                     if slot % g == r:
                         c.preds.append(index[("cpu", i, slot)])

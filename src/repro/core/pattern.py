@@ -25,7 +25,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from math import comb, gcd
 
-import numpy as np
 
 from repro.exceptions import StructuralError
 from repro.markov.builder import tpn_throughput_exponential

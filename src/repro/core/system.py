@@ -7,8 +7,15 @@ exposes every computation of the paper as one method:
 >>> sys.deterministic_throughput()          # Section 4
 >>> sys.exponential_throughput()            # Section 5
 >>> sys.throughput_bounds()                 # Section 6, Theorem 7
+>>> sys.solve("simulation")                 # any registered solver
 >>> sys.simulate(law="gamma", law_params={"shape": 0.5},
 ...              n_datasets=10_000, seed=7) # Section 7
+
+Every throughput computation routes through the solver registry of
+:mod:`repro.evaluate`; the system keeps one
+:class:`~repro.evaluate.cache.StructureCache`, so repeated calls (and
+both halves of the Theorem 7 sandwich) share built nets, reachability
+graphs and memoized scores.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from functools import cached_property
 
 import numpy as np
 
+from repro.evaluate import StructureCache, evaluate, get_solver
 from repro.mapping.mapping import Mapping
 from repro.mapping.resources import max_cycle_time
 from repro.petri.builder_overlap import build_overlap_tpn
@@ -25,10 +33,8 @@ from repro.petri.net import TimedEventGraph
 from repro.sim.results import SimulationResult
 from repro.sim.sampling import LawSpec
 from repro.types import ExecutionModel
-from repro.core.bounds import ThroughputBounds, throughput_bounds
+from repro.core.bounds import ThroughputBounds
 from repro.core.critical import CriticalResourceReport, analyze_critical_resource
-from repro.core.critical import deterministic_throughput as _det_throughput
-from repro.core.exponential import exponential_throughput as _exp_throughput
 
 
 class StreamingSystem:
@@ -37,6 +43,8 @@ class StreamingSystem:
     def __init__(self, mapping: Mapping, model: ExecutionModel | str = "overlap") -> None:
         self.mapping = mapping
         self.model = ExecutionModel.coerce(model)
+        #: Structure cache shared by every solver call on this system.
+        self.cache = StructureCache()
 
     # ------------------------------------------------------------------
     # Structure
@@ -61,19 +69,31 @@ class StreamingSystem:
         return build_strict_tpn(self.mapping, **kwargs)
 
     # ------------------------------------------------------------------
-    # Analytic throughputs
+    # Analytic throughputs (delegated to the solver registry)
     # ------------------------------------------------------------------
+    def solve(self, solver: str = "deterministic", **options) -> float:
+        """Score this system with any registered solver, by name."""
+        return evaluate(
+            self.mapping,
+            solver=solver,
+            model=self.model,
+            cache=self.cache,
+            **options,
+        )
+
     def deterministic_throughput(self, *, semantics: str = "unbounded") -> float:
         """Static throughput (Section 4)."""
-        return _det_throughput(self.mapping, self.model, semantics=semantics)
+        return self.solve("deterministic", semantics=semantics)
 
     def exponential_throughput(self, *, method: str = "auto", **kwargs) -> float:
         """Exponential-times throughput (Section 5)."""
-        return _exp_throughput(self.mapping, self.model, method=method, **kwargs)
+        return self.solve("exponential", method=method, **kwargs)
 
     def throughput_bounds(self, **kwargs) -> ThroughputBounds:
         """N.B.U.E. sandwich (Theorem 7): ``(exponential, deterministic)``."""
-        return throughput_bounds(self.mapping, self.model, **kwargs)
+        return get_solver("bounds", **kwargs).bounds(
+            self.mapping, self.model, cache=self.cache
+        )
 
     def max_cycle_time(self, **kwargs) -> float:
         """Critical-resource bound ``Mct`` (Section 2.3)."""

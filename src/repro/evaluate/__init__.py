@@ -1,0 +1,55 @@
+"""Unified throughput-solver subsystem (the paper's evaluators, pluggable).
+
+One seam ties every mapping-scoring path of the library together:
+
+* a :class:`ThroughputSolver` protocol and a registry of named backends —
+  ``deterministic`` (Section 4), ``exponential`` (Section 5, Theorems
+  2-4), ``bounds`` (Theorem 7 sandwich) and ``simulation`` (Section 7);
+* a :class:`StructureCache` keyed by canonical mapping fingerprints,
+  sharing built nets, reachability graphs and memoized scores across
+  repeated or isomorphic candidates;
+* :func:`evaluate` / :func:`evaluate_many` — the single and batched
+  front doors, with fingerprint deduplication and an optional process
+  pool (bit-identical to the serial loop).
+
+``StreamingSystem``, ``throughput_bounds`` and the mapping-search
+heuristics all delegate here; new backends only need ``@register_solver``.
+"""
+
+from repro.evaluate.batch import evaluate, evaluate_many, resolve_solver
+from repro.evaluate.cache import StructureCache
+from repro.evaluate.fingerprint import (
+    fingerprint_digest,
+    mapping_fingerprint,
+    structure_fingerprint,
+)
+from repro.evaluate.solvers import (
+    BoundsSolver,
+    DeterministicSolver,
+    ExponentialSolver,
+    SimulationSolver,
+    ThroughputSolver,
+    available_solvers,
+    get_solver,
+    register_solver,
+    solver_options,
+)
+
+__all__ = [
+    "evaluate",
+    "evaluate_many",
+    "resolve_solver",
+    "StructureCache",
+    "mapping_fingerprint",
+    "structure_fingerprint",
+    "fingerprint_digest",
+    "ThroughputSolver",
+    "DeterministicSolver",
+    "ExponentialSolver",
+    "BoundsSolver",
+    "SimulationSolver",
+    "available_solvers",
+    "get_solver",
+    "register_solver",
+    "solver_options",
+]

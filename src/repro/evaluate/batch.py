@@ -1,0 +1,175 @@
+"""Single and batched mapping evaluation through the solver registry.
+
+:func:`evaluate` scores one mapping; :func:`evaluate_many` scores a
+whole candidate batch with fingerprint-level deduplication, an optional
+shared :class:`~repro.evaluate.cache.StructureCache` memo, and an
+optional process pool (the same fan-out discipline as
+:func:`repro.sim.runner.replicate`: work is dispatched in stream order
+and folded back by index, so ``n_jobs > 1`` is bit-identical to the
+serial loop).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+import warnings
+from collections.abc import Iterable
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.evaluate.cache import StructureCache
+from repro.evaluate.solvers import ThroughputSolver, get_solver
+from repro.mapping.mapping import Mapping
+from repro.types import ExecutionModel
+
+
+def resolve_solver(solver: ThroughputSolver | str, options: dict) -> ThroughputSolver:
+    """Turn a registry name (plus options) or a ready instance into a solver."""
+    if isinstance(solver, str):
+        return get_solver(solver, **options)
+    if options:
+        raise TypeError(
+            "solver options are only accepted together with a registry name; "
+            "configure the instance directly instead"
+        )
+    return solver
+
+
+def _options_key(solver: ThroughputSolver) -> tuple:
+    """Canonical, hashable key of a solver's frozen configuration."""
+    if dataclasses.is_dataclass(solver):
+        return tuple(
+            (f.name, getattr(solver, f.name))
+            for f in dataclasses.fields(solver)
+        )
+    return (repr(solver),)
+
+
+def evaluate(
+    mapping: Mapping,
+    *,
+    solver: ThroughputSolver | str = "deterministic",
+    model: ExecutionModel | str = "overlap",
+    cache: StructureCache | None = None,
+    **options,
+) -> float:
+    """Score one mapping with a named (or given) solver.
+
+    With a ``cache``, the score is memoized under the mapping's canonical
+    timing fingerprint and structural artefacts (nets, reachability) are
+    shared with every other evaluation routed through the same cache.
+    """
+    s = resolve_solver(solver, options)
+    model = ExecutionModel.coerce(model)
+    if cache is None:
+        return s.solve(mapping, model)
+    key = cache.score_key(mapping, model, s.name, _options_key(s))
+    return cache.score(key, lambda: s.solve(mapping, model, cache=cache))
+
+
+def _solve_payload(payload: tuple) -> float:
+    solver, mapping, model_value = payload
+    return solver.solve(mapping, ExecutionModel(model_value))
+
+
+def evaluate_many(
+    mappings: Iterable[Mapping],
+    *,
+    solver: ThroughputSolver | str = "deterministic",
+    model: ExecutionModel | str = "overlap",
+    cache: StructureCache | None = None,
+    n_jobs: int = 1,
+    **options,
+) -> list[float]:
+    """Score a batch of candidate mappings, deduplicated and parallel.
+
+    Candidates are keyed by their canonical timing fingerprint: repeated
+    or isomorphic candidates (same replication and slot-wise mean times,
+    whatever the processor identities) are evaluated once. ``cache``
+    carries the memo across calls — a search loop passing the same cache
+    never re-evaluates any candidate it has seen.
+
+    ``n_jobs > 1`` fans the unique evaluations over a process pool.
+    Solvers are pure functions of ``(mapping, model)`` (the simulation
+    solver derives its stream from the candidate fingerprint, not from
+    evaluation order), and results are folded back in submission order,
+    so the output is bit-identical to the serial loop.
+    """
+    s = resolve_solver(solver, options)
+    model = ExecutionModel.coerce(model)
+    batch = list(mappings)
+    if n_jobs < 1:
+        raise ValueError("n_jobs must be >= 1")
+    if cache is None:
+        cache = StructureCache()
+
+    results: list[float | None] = [None] * len(batch)
+    opts_key = _options_key(s)
+
+    if not cache.enabled:
+        # Uncached semantics: every request is evaluated independently
+        # (the pre-refactor cost model; used by the bench baseline).
+        order = list(range(len(batch)))
+        values = _run(s, [batch[i] for i in order], model, n_jobs)
+        for i, value in zip(order, values):
+            results[i] = cache.store(
+                cache.score_key(batch[i], model, s.name, opts_key), value
+            )
+        return results  # type: ignore[return-value]
+
+    firsts: dict[tuple, int] = {}
+    keys: list[tuple] = []
+    pending: list[int] = []
+    for idx, mapping in enumerate(batch):
+        key = cache.score_key(mapping, model, s.name, opts_key)
+        keys.append(key)
+        cached = cache.lookup(key)
+        if cached is not None:
+            results[idx] = cached
+        elif key in firsts:
+            cache.hits += 1  # satisfied by the in-flight duplicate below
+        else:
+            firsts[key] = idx
+            pending.append(idx)
+
+    values = _run(s, [batch[i] for i in pending], model, n_jobs, cache=cache)
+    fresh: dict[tuple, float] = {}
+    for i, value in zip(pending, values):
+        fresh[keys[i]] = cache.store(keys[i], value)
+    for idx in range(len(batch)):
+        if results[idx] is None:
+            results[idx] = fresh[keys[idx]]
+    return results  # type: ignore[return-value]
+
+
+def _run(
+    solver: ThroughputSolver,
+    mappings: list[Mapping],
+    model: ExecutionModel,
+    n_jobs: int,
+    cache: StructureCache | None = None,
+) -> list[float]:
+    """Evaluate ``mappings`` serially or over a process pool, in order."""
+    n_jobs = min(n_jobs, len(mappings))
+    if n_jobs > 1:
+        payloads = [(solver, mapping, model.value) for mapping in mappings]
+        if not _picklable(payloads[0]):
+            warnings.warn(
+                "evaluate_many(): solver or mapping is not picklable; "
+                "falling back to serial evaluation",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        else:
+            chunksize = max(1, len(payloads) // (4 * n_jobs))
+            with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+                return list(pool.map(_solve_payload, payloads, chunksize=chunksize))
+    return [solver.solve(mapping, model, cache=cache) for mapping in mappings]
+
+
+def _picklable(obj: object) -> bool:
+    try:
+        pickle.dumps(obj)
+    except Exception:
+        return False
+    return True

@@ -1,0 +1,305 @@
+"""The pluggable throughput solvers and their registry.
+
+Every way the library can score a mapping — the Section 4 deterministic
+evaluators, the Section 5 exponential analysis, the Theorem 7 N.B.U.E.
+sandwich and the Section 7 simulators — is wrapped behind one protocol
+and registered under a short name::
+
+    >>> from repro.evaluate import get_solver
+    >>> get_solver("deterministic").solve(mapping, "overlap")
+    >>> get_solver("bounds").bounds(mapping, "strict").width
+
+Solvers are small frozen dataclasses: construction freezes the options,
+``solve`` is a pure function of ``(mapping, model)`` — which is what
+makes the score memo of :class:`~repro.evaluate.cache.StructureCache`
+sound and lets :func:`~repro.evaluate.batch.evaluate_many` ship solver
+instances to worker processes byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, is_dataclass
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.evaluate.cache import StructureCache
+from repro.evaluate.fingerprint import fingerprint_digest, mapping_fingerprint
+from repro.exceptions import UnsupportedModelError
+from repro.mapping.mapping import Mapping
+from repro.types import ExecutionModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.bounds import ThroughputBounds
+
+# NOTE: `repro.core` is imported lazily inside the solve methods. The core
+# façade (`StreamingSystem`, `throughput_bounds`) delegates to this
+# registry, so importing core eagerly here would close an import cycle.
+
+
+@runtime_checkable
+class ThroughputSolver(Protocol):
+    """A named, deterministic mapping → throughput evaluator."""
+
+    name: str
+
+    def solve(
+        self,
+        mapping: Mapping,
+        model: ExecutionModel | str = "overlap",
+        *,
+        cache: StructureCache | None = None,
+    ) -> float:
+        """Throughput of ``mapping`` under ``model``."""
+        ...
+
+
+_REGISTRY: dict[str, type] = {}
+
+
+def register_solver(name: str):
+    """Class decorator adding a solver to the registry under ``name``."""
+
+    def decorate(cls):
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorate
+
+
+def available_solvers() -> tuple[str, ...]:
+    """Registered solver names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def solver_options(name: str) -> tuple[str, ...]:
+    """Constructor option names the solver registered under ``name`` accepts.
+
+    Lets generic callers (the search heuristics, the CLI) forward only
+    the options a backend understands instead of hard-coding per-solver
+    signatures.
+    """
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise UnsupportedModelError(
+            f"unknown solver {name!r}; available: {', '.join(available_solvers())}"
+        ) from None
+    if is_dataclass(cls):
+        return tuple(f.name for f in fields(cls))
+    return ()
+
+
+def get_solver(name: str, **options) -> ThroughputSolver:
+    """Instantiate the solver registered under ``name``.
+
+    ``options`` are the solver's constructor keywords (e.g. ``semantics``
+    or ``max_states``); unknown names raise ``UnsupportedModelError`` with
+    the available choices.
+    """
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise UnsupportedModelError(
+            f"unknown solver {name!r}; available: {', '.join(available_solvers())}"
+        ) from None
+    return cls(**options)
+
+
+def _strict_net(mapping: Mapping, cache: StructureCache | None):
+    from repro.petri.builder_strict import build_strict_tpn
+
+    if cache is None:
+        return build_strict_tpn(mapping)
+    return cache.net(mapping, ExecutionModel.STRICT, lambda: build_strict_tpn(mapping))
+
+
+# ----------------------------------------------------------------------
+# Exact solvers
+# ----------------------------------------------------------------------
+@register_solver("deterministic")
+@dataclass(frozen=True)
+class DeterministicSolver:
+    """Section 4 static throughput (symbolic Overlap / critical cycles)."""
+
+    semantics: str = "unbounded"
+    max_states: int = 200_000
+
+    def solve(
+        self,
+        mapping: Mapping,
+        model: ExecutionModel | str = "overlap",
+        *,
+        cache: StructureCache | None = None,
+    ) -> float:
+        from repro.core.components import overlap_throughput
+        from repro.core.deterministic import tpn_throughput_deterministic
+
+        model = ExecutionModel.coerce(model)
+        if model is ExecutionModel.OVERLAP:
+            return overlap_throughput(
+                mapping,
+                "deterministic",
+                semantics=self.semantics,
+                max_states=self.max_states,
+            )
+        return tpn_throughput_deterministic(_strict_net(mapping, cache))
+
+
+@register_solver("exponential")
+@dataclass(frozen=True)
+class ExponentialSolver:
+    """Section 5 exponential throughput (Theorems 2-4).
+
+    Mirrors :func:`repro.core.exponential.exponential_throughput` but
+    routes the Strict marking chain through the structure cache: the net
+    build and the reachability exploration are reused across candidates
+    sharing the timing / topology fingerprint, only the CTMC solve runs
+    per candidate.
+    """
+
+    method: str = "auto"
+    semantics: str = "unbounded"
+    buffer_capacity: int | None = None
+    max_states: int = 200_000
+
+    def solve(
+        self,
+        mapping: Mapping,
+        model: ExecutionModel | str = "overlap",
+        *,
+        cache: StructureCache | None = None,
+    ) -> float:
+        from repro.core.exponential import exponential_throughput
+        from repro.markov.builder import tpn_throughput_exponential
+        from repro.petri.reachability import PLACE_BOUND, explore
+
+        model = ExecutionModel.coerce(model)
+        if model is ExecutionModel.STRICT and self.method in ("auto", "full"):
+            # Cache-aware Strict path: the net build and the reachability
+            # exploration are shared across same-fingerprint / same-topology
+            # candidates, only the CTMC solve runs per candidate.
+            tpn = _strict_net(mapping, cache)
+            reach = None
+            if cache is not None:
+                reach = cache.reachability(
+                    mapping,
+                    model,
+                    lambda: explore(
+                        tpn, max_states=self.max_states, place_bound=PLACE_BOUND
+                    ),
+                    max_states=self.max_states,
+                    place_bound=PLACE_BOUND,
+                )
+            return tpn_throughput_exponential(
+                tpn, max_states=self.max_states, reach=reach
+            )
+        return exponential_throughput(
+            mapping,
+            model,
+            method=self.method,
+            semantics=self.semantics,
+            buffer_capacity=self.buffer_capacity,
+            max_states=self.max_states,
+        )
+
+
+@register_solver("bounds")
+@dataclass(frozen=True)
+class BoundsSolver:
+    """Theorem 7 N.B.U.E. sandwich built from the two exact solvers.
+
+    ``solve`` returns the guaranteed floor (the exponential lower bound —
+    the value a variability-robust search should maximize); ``bounds``
+    returns the full :class:`~repro.core.bounds.ThroughputBounds`. Both
+    halves share one structure cache, so the Strict net is built (and its
+    marking graph explored) once per mapping, not once per bound.
+    """
+
+    semantics: str = "unbounded"
+    max_states: int = 200_000
+
+    def bounds(
+        self,
+        mapping: Mapping,
+        model: ExecutionModel | str = "overlap",
+        *,
+        cache: StructureCache | None = None,
+    ) -> ThroughputBounds:
+        from repro.core.bounds import ThroughputBounds
+
+        if cache is None:
+            cache = StructureCache()
+        upper = DeterministicSolver(
+            semantics=self.semantics, max_states=self.max_states
+        ).solve(mapping, model, cache=cache)
+        lower = ExponentialSolver(
+            semantics=self.semantics, max_states=self.max_states
+        ).solve(mapping, model, cache=cache)
+        return ThroughputBounds(lower=lower, upper=upper)
+
+    def solve(
+        self,
+        mapping: Mapping,
+        model: ExecutionModel | str = "overlap",
+        *,
+        cache: StructureCache | None = None,
+    ) -> float:
+        return self.bounds(mapping, model, cache=cache).lower
+
+
+# ----------------------------------------------------------------------
+# Monte-Carlo solver
+# ----------------------------------------------------------------------
+@register_solver("simulation")
+@dataclass(frozen=True)
+class SimulationSolver:
+    """Section 7 discrete-event estimate with deterministic seeding.
+
+    The per-candidate random stream is derived from ``seed`` *and* the
+    mapping's timing fingerprint, never from evaluation order — so a
+    batch scored with ``n_jobs=8`` is bit-identical to the serial loop,
+    and memoized repeats are exact (the same candidate always replays the
+    same stream).
+    """
+
+    n_datasets: int = 1_000
+    law: str = "exponential"
+    law_params: tuple[tuple[str, float], ...] = field(default=())
+    seed: int = 0
+    estimator: str = "total"
+
+    def __post_init__(self) -> None:
+        # Accept a dict for convenience; store the canonical tuple form.
+        if isinstance(self.law_params, dict):
+            object.__setattr__(
+                self, "law_params", tuple(sorted(self.law_params.items()))
+            )
+
+    def rng_for(self, mapping: Mapping, model: ExecutionModel | str) -> np.random.Generator:
+        digest = fingerprint_digest(mapping_fingerprint(mapping, model))
+        return np.random.default_rng([self.seed, digest])
+
+    def solve(
+        self,
+        mapping: Mapping,
+        model: ExecutionModel | str = "overlap",
+        *,
+        cache: StructureCache | None = None,
+    ) -> float:
+        from repro.sim.sampling import LawSpec
+        from repro.sim.system_sim import simulate_system
+
+        model = ExecutionModel.coerce(model)
+        spec = LawSpec.of(self.law, **dict(self.law_params))
+        result = simulate_system(
+            mapping,
+            model,
+            n_datasets=self.n_datasets,
+            law=spec,
+            rng=self.rng_for(mapping, model),
+        )
+        if self.estimator == "steady":
+            return result.steady_state_throughput()
+        return result.throughput

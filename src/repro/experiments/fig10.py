@@ -12,10 +12,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from repro.application.chain import Application
-from repro.core import overlap_throughput
+from repro.evaluate import evaluate
 from repro.experiments.common import ExperimentResult
 from repro.mapping.mapping import Mapping
 from repro.petri import build_overlap_tpn
@@ -63,8 +62,8 @@ def run(config: Fig10Config | None = None) -> ExperimentResult:
             "exp_theory",
         ],
     )
-    cst_theory = overlap_throughput(mp, "deterministic")
-    exp_theory = overlap_throughput(mp, "exponential")
+    cst_theory = evaluate(mp, solver="deterministic")
+    exp_theory = evaluate(mp, solver="exponential")
     n_max = max(config.dataset_counts)
     sim_cst = simulate_system(
         mp, "overlap", n_datasets=n_max, law="deterministic", seed=config.seed

@@ -11,9 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 
-from repro.core import overlap_throughput
+from repro.evaluate import evaluate
 from repro.experiments.common import ExperimentResult
 from repro.experiments.fig10 import paper_system
 from repro.sim.runner import replicate
@@ -64,7 +63,7 @@ def run(config: Fig11Config | None = None) -> ExperimentResult:
         )
     result.notes.append(
         f"theoretical exponential throughput: "
-        f"{overlap_throughput(mp, 'exponential'):.6g}"
+        f"{evaluate(mp, solver='exponential'):.6g}"
     )
     result.notes.append(
         "paper: std dev ≈2% of the mean at 5,000 data sets, ≈1% at 10,000"

@@ -12,10 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from repro.application.chain import Application
-from repro.core import overlap_throughput, pattern_throughput_homogeneous
+from repro.core import pattern_throughput_homogeneous
+from repro.evaluate import evaluate
 from repro.experiments.common import ExperimentResult
 from repro.mapping.mapping import Mapping
 from repro.platform.topology import Platform
@@ -65,8 +65,8 @@ def run(config: Fig12Config | None = None) -> ExperimentResult:
     exp_ref = pattern_throughput_homogeneous(u, v, 1.0)
     for n_links in config.link_counts:
         mp = chained_pattern_system(n_links, u=u, v=v)
-        cst_theory = overlap_throughput(mp, "deterministic")
-        exp_theory = overlap_throughput(mp, "exponential")
+        cst_theory = evaluate(mp, solver="deterministic")
+        exp_theory = evaluate(mp, solver="exponential")
         sim_cst = simulate_system(
             mp, "overlap", n_datasets=config.n_datasets,
             law="deterministic", seed=config.seed,

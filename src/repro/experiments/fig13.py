@@ -14,10 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from math import gcd
 
-from repro.core import (
-    overlap_throughput,
-    pattern_throughput_homogeneous,
-)
+from repro.core import pattern_throughput_homogeneous
+from repro.evaluate import evaluate
 from repro.experiments.common import ExperimentResult
 from repro.mapping.examples import single_communication
 from repro.sim.system_sim import simulate_system
@@ -51,7 +49,7 @@ def run(config: Fig13Config | None = None) -> ExperimentResult:
     )
     for u, v in config.sides:
         mp = single_communication(u, v, comm_time=1.0)
-        cst = overlap_throughput(mp, "deterministic")
+        cst = evaluate(mp, solver="deterministic")
         g = gcd(u, v)
         theory = g * pattern_throughput_homogeneous(u // g, v // g, 1.0)
         sim_cst = simulate_system(

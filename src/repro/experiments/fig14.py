@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core import overlap_throughput
+from repro.evaluate import evaluate
 from repro.experiments.common import ExperimentResult
 from repro.mapping.examples import single_communication
 from repro.petri import build_overlap_tpn
@@ -84,10 +84,10 @@ def run(config: Fig14Config | None = None) -> ExperimentResult:
         for u, v in config.sides:
             times = _link_times(mode, u, v, config, rng)
             mp = single_communication(u, v, bandwidths=1.0 / times)
-            cst_theory = overlap_throughput(mp, "deterministic")
+            cst_theory = evaluate(mp, solver="deterministic")
             if config.include_exp_theory:
-                exp_theory = overlap_throughput(
-                    mp, "exponential", max_states=300_000
+                exp_theory = evaluate(
+                    mp, solver="exponential", max_states=300_000
                 )
             else:
                 exp_theory = float("nan")

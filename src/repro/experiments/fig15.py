@@ -14,9 +14,9 @@ from math import gcd
 
 from repro.core import (
     exponential_to_deterministic_ratio,
-    overlap_throughput,
     pattern_throughput_homogeneous,
 )
+from repro.evaluate import evaluate
 from repro.experiments.common import ExperimentResult
 from repro.mapping.examples import single_communication
 from repro.sim.system_sim import simulate_system
@@ -46,7 +46,7 @@ def run(config: Fig15Config | None = None) -> ExperimentResult:
     )
     for u in config.senders:
         mp = single_communication(u, v, comm_time=1.0)
-        cst = overlap_throughput(mp, "deterministic")
+        cst = evaluate(mp, solver="deterministic")
         g = gcd(u, v)
         exp_theory = g * pattern_throughput_homogeneous(u // g, v // g, 1.0)
         sim_cst = simulate_system(

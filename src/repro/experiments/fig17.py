@@ -13,7 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from math import gcd
 
-from repro.core import overlap_throughput, pattern_throughput_homogeneous
+from repro.core import pattern_throughput_homogeneous
+from repro.evaluate import evaluate
 from repro.experiments.common import ExperimentResult
 from repro.mapping.examples import single_communication
 from repro.sim.sampling import LawSpec
@@ -56,7 +57,7 @@ def run(config: Fig17Config | None = None) -> ExperimentResult:
     escapes: dict[str, int] = {label: 0 for label in labels}
     for u in config.senders:
         mp = single_communication(u, v, comm_time=1.0)
-        cst = overlap_throughput(mp, "deterministic")
+        cst = evaluate(mp, solver="deterministic")
         g = gcd(u, v)
         lower = g * pattern_throughput_homogeneous(u // g, v // g, 1.0) / cst
         row: dict[str, object] = {"u": u, "lower_exp": lower, "upper_cst": 1.0}

@@ -12,7 +12,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.core import overlap_throughput
+from repro.evaluate import evaluate
 from repro.experiments.common import ExperimentResult
 from repro.experiments.fig10 import paper_system
 from repro.petri import build_overlap_tpn
@@ -49,8 +49,8 @@ def run(config: TimingConfig | None = None) -> ExperimentResult:
             "tpn_sim_s",
         ],
     )
-    t_cst, _ = _clock(lambda: overlap_throughput(mp, "deterministic"))
-    t_exp, _ = _clock(lambda: overlap_throughput(mp, "exponential"))
+    t_cst, _ = _clock(lambda: evaluate(mp, solver="deterministic"))
+    t_exp, _ = _clock(lambda: evaluate(mp, solver="exponential"))
     tpn = build_overlap_tpn(mp)
     for k in config.dataset_counts:
         t_sys, _ = _clock(

@@ -38,16 +38,21 @@ def ctmc_from_tpn(
     *,
     max_states: int = 200_000,
     place_bound: int = PLACE_BOUND,
+    reach: ReachabilityResult | None = None,
 ) -> tuple[CTMC, ReachabilityResult]:
     """Build the marking CTMC of a bounded net.
 
     Returns the chain and the reachability result (kept so callers can
-    attribute stationary mass back to enabled transitions).
+    attribute stationary mass back to enabled transitions). ``reach``
+    optionally injects a previously computed exploration of a net with
+    the same topology (the marking graph is independent of firing times,
+    so the solver cache shares it across same-structure candidates).
     """
     rates = exponential_rates(tpn) if rates is None else np.asarray(rates, dtype=float)
     if rates.shape != (tpn.n_transitions,):
         raise StructuralError("rates vector must have one entry per transition")
-    reach = explore(tpn, max_states=max_states, place_bound=place_bound)
+    if reach is None:
+        reach = explore(tpn, max_states=max_states, place_bound=place_bound)
     src, trans, dst = reach.flat_arcs()
     moving = src != dst  # self-loops: invisible to the stationary law
     chain = CTMC(reach.n_states, src[moving], dst[moving], rates[trans[moving]])
@@ -62,6 +67,7 @@ def tpn_throughput_exponential(
     max_states: int = 200_000,
     place_bound: int = PLACE_BOUND,
     method: str = "auto",
+    reach: ReachabilityResult | None = None,
 ) -> float:
     """Exact exponential throughput of a bounded net (Theorem 2).
 
@@ -69,11 +75,12 @@ def tpn_throughput_exponential(
     (default: the last column — one firing per completed data set). Under
     the stationary law ``π`` the long-run counted firing rate is
     ``Σ_s π(s) Σ{λ_t : t ∈ counted enabled in s}``, including moves that
-    do not change the marking (self-loops fire too).
+    do not change the marking (self-loops fire too). ``reach`` injects a
+    cached same-topology exploration (see :func:`ctmc_from_tpn`).
     """
     rates = exponential_rates(tpn) if rates is None else np.asarray(rates, dtype=float)
     chain, reach = ctmc_from_tpn(
-        tpn, rates, max_states=max_states, place_bound=place_bound
+        tpn, rates, max_states=max_states, place_bound=place_bound, reach=reach
     )
     pi = chain.stationary_distribution(method=method)
     counted_ix = tpn.last_column_transitions() if counted is None else list(counted)

@@ -7,7 +7,6 @@ import pytest
 
 from repro.core import strict_exponential_throughput
 from repro.core.comparison import (
-    coupled_daters,
     coupled_throughputs,
     coupled_times,
     verify_st_dominance,
@@ -91,18 +90,27 @@ class TestCoupledComparisons:
     def test_theorem5_st_sample_path(self):
         """Scaled laws are ≤st-ordered → daters ordered pointwise."""
         mp = make_mapping([[0], [1, 2]], seed=3)
+        def fast(mean):
+            return Uniform.from_mean(0.8 * mean, 0.5)
+
+        def slow(mean):
+            return Uniform.from_mean(mean, 0.5)
+
         for build in (build_overlap_tpn, build_strict_tpn):
             tpn = build(mp)
-            fast = lambda mean: Uniform.from_mean(0.8 * mean, 0.5)
-            slow = lambda mean: Uniform.from_mean(mean, 0.5)
             assert verify_st_dominance(tpn, fast, slow, n_firings=150, seed=1)
 
     def test_theorem5_violated_without_order(self):
         """Same-mean laws are not ≤st-ordered: dominance check fails."""
         mp = make_mapping([[0], [1]], works=[1.0, 1.0], files=[1.0])
         tpn = build_strict_tpn(mp)
-        a = lambda mean: Exponential(mean)
-        b = lambda mean: Deterministic(mean)
+
+        def a(mean):
+            return Exponential(mean)
+
+        def b(mean):
+            return Deterministic(mean)
+
         assert not verify_st_dominance(tpn, a, b, n_firings=300, seed=2)
         assert not verify_st_dominance(tpn, b, a, n_firings=300, seed=2)
 

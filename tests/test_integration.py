@@ -9,7 +9,6 @@ other on non-trivial systems.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro import StreamingSystem
@@ -21,7 +20,7 @@ from repro.core import (
     tpn_throughput_classic,
     tpn_throughput_deterministic,
 )
-from repro.mapping.examples import example_a, single_communication
+from repro.mapping.examples import example_a
 from repro.petri import build_overlap_tpn, build_strict_tpn
 from repro.sim.system_sim import simulate_system
 from repro.sim.tpn_sim import simulate_tpn

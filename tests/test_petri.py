@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.exceptions import StateSpaceLimitError, StructuralError
-from repro.mapping.examples import example_a, single_communication
+from repro.mapping.examples import example_a
 from repro.petri import (
     build_overlap_tpn,
     build_strict_tpn,

@@ -134,3 +134,87 @@ class TestHeuristics:
         # The exponential score of any mapping is below its deterministic
         # score (Theorem 7), hence also for the two optima.
         assert exp.throughput <= det.throughput * (1 + 1e-9)
+
+
+#: Pre-refactor outputs of the serial one-candidate-at-a-time heuristics
+#: (recorded at the PR 1 tree on the ``_instance`` systems below):
+#: seed -> (hill-climb rho, restart rho, restart evaluation count).
+_PRE_REFACTOR = {
+    0: (0.9794428168094456, 1.3844005475115075, 40),
+    3: (1.3659987904649937, 1.4100052763104642, 59),
+    7: (0.7763586739879177, 0.7413055538225953, 44),
+    11: (1.0362295147859208, 1.301398502321453, 41),
+}
+
+
+class TestBatchedSearchRegression:
+    """The evaluate_many rewrite preserves trajectories and saves work."""
+
+    @pytest.mark.parametrize("seed", sorted(_PRE_REFACTOR))
+    def test_same_optimum_with_fewer_evaluator_misses(self, seed):
+        app, platform = TestHeuristics._instance(None, seed)
+        hc = greedy_hill_climb(app, platform, seed=1, max_steps=20)
+        rr = random_restart_search(app, platform, n_restarts=3, seed=2)
+        rho_hc, rho_rr, old_evals = _PRE_REFACTOR[seed]
+        # Bit-identical optima on fixed seeds ...
+        assert hc.throughput == rho_hc
+        assert rr.throughput == rho_rr
+        # ... the same request stream as the serial implementation ...
+        assert rr.evaluations == old_evals
+        assert rr.evaluations == rr.cache_hits + rr.cache_misses
+        # ... and strictly fewer actual evaluator runs (memo cache).
+        assert rr.cache_misses < old_evals
+        assert rr.cache_hits > 0
+
+    def test_n_jobs_same_optimum(self):
+        app, platform = TestHeuristics._instance(None, 0)
+        serial = random_restart_search(app, platform, n_restarts=2, seed=2)
+        fanned = random_restart_search(
+            app, platform, n_restarts=2, seed=2, n_jobs=2
+        )
+        assert fanned.throughput == serial.throughput
+
+    def test_shared_cache_across_searches(self):
+        from repro.evaluate import StructureCache
+
+        app, platform = TestHeuristics._instance(None, 3)
+        cache = StructureCache()
+        first = random_restart_search(
+            app, platform, n_restarts=1, seed=2, cache=cache
+        )
+        second = random_restart_search(
+            app, platform, n_restarts=1, seed=2, cache=cache
+        )
+        assert second.throughput == first.throughput
+        # The second run re-requests only memoized candidates.
+        assert second.cache_misses == 0
+        assert second.evaluations == first.evaluations
+
+
+class TestSatelliteFixes:
+    def test_balanced_replication_overshoot_never_empties_a_team(self):
+        # Three feather-weight stages force per-stage clamping to 1 while
+        # the heavy stage's floor share overshoots M; the old trim loop
+        # decremented the least-loaded stage to zero replicas.
+        app = Application.from_work([0.1, 0.1, 0.1, 10.0], [0.1, 0.1, 0.1])
+        platform = Platform.from_speeds([1.0] * 5, bandwidth=5.0)
+        result = balanced_replication(app, platform)
+        reps = result.mapping.replication
+        assert min(reps) >= 1
+        assert sum(reps) <= platform.n_processors
+        assert result.throughput > 0
+
+    def test_neighbours_skip_degenerate_empty_team_swaps(self):
+        from repro.mapping.heuristics import _neighbours
+        from repro.mapping.mapping import Mapping as _Mapping
+
+        mp = make_mapping([[0], [1], [2]])
+        # Forge an (invalid) mapping with an empty middle team, bypassing
+        # validation — the degenerate shape the guard protects against.
+        degenerate = _Mapping.__new__(_Mapping)
+        degenerate.application = mp.application
+        degenerate.platform = mp.platform
+        degenerate.teams = ((0,), (), (2,))
+        rng = np.random.default_rng(0)
+        moves = _neighbours(degenerate, rng)  # must not raise
+        assert isinstance(moves, list)

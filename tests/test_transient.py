@@ -79,9 +79,7 @@ class TestTransient:
             chain.expected_counted_rate_at(p0, t, state_rates)
             for t in (0.5, 2.0, 8.0, 40.0)
         ]
-        stationary = chain.flow(
-            chain.stationary_distribution(),
-        )
+        chain.flow(chain.stationary_distribution())
         # Monotone-ish rise towards the stationary counted rate.
         assert series[0] < series[-1]
         pi = chain.stationary_distribution()
