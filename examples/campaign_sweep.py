@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""A declarative throughput campaign: spec → sweep → resumable store.
+
+Instead of hand-coding an experiment loop, describe it as data: a
+:class:`~repro.campaign.CampaignSpec` names the system, the solvers and
+the parameter axes; the sweep engine expands the grid into
+fingerprint-keyed units; the runner scores them through the
+:mod:`repro.evaluate` registry into a crash-safe JSONL store that can
+be resumed at any time.
+
+This example sweeps the paper's single-communication pattern system
+(Section 7.4) over senders × receivers × solver, shows that re-running
+with ``resume=True`` executes nothing, and renders the report tables.
+
+Run: ``python examples/campaign_sweep.py``
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.campaign import (
+    CampaignSpec,
+    ResultStore,
+    ScenarioSpec,
+    SystemSpec,
+    campaign_report,
+    run_campaign,
+)
+
+
+def build_spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="sweep-demo",
+        description="pattern system: theory across the (u, v, solver) grid",
+        seed=7,
+        scenarios=[
+            ScenarioSpec(
+                name="demo/pattern",
+                description="u senders -> v receivers, unit link times",
+                system=SystemSpec("single_communication", {"comm_time": 1.0}),
+                axes={
+                    "system.u": [2, 3, 4],
+                    "system.v": [2, 3, 4],
+                    "solver": ["deterministic", "exponential"],
+                },
+            ),
+            ScenarioSpec(
+                name="demo/simulated",
+                description="Monte-Carlo check on the 3x3 pattern",
+                system=SystemSpec(
+                    "single_communication", {"u": 3, "v": 3, "comm_time": 1.0}
+                ),
+                solver="simulation",
+                axes={"solver.n_datasets": [500, 2000]},
+            ),
+        ],
+    )
+
+
+def main() -> None:
+    spec = build_spec()
+
+    # The spec is plain data — it round-trips through JSON, so it can be
+    # committed, diffed and re-run bit-identically.
+    with tempfile.TemporaryDirectory() as tmp:
+        spec_path = Path(tmp) / "campaign.json"
+        spec_path.write_text(spec.to_json())
+        spec = CampaignSpec.from_json(spec_path.read_text())
+
+        store = ResultStore(Path(tmp) / "results.jsonl")
+        summary = run_campaign(spec, store, n_jobs=2)
+        print(summary.render())
+
+        # Resuming a completed campaign executes nothing: every unit's
+        # fingerprint is already in the store.
+        resumed = run_campaign(
+            spec, ResultStore(store.path), resume=True
+        )
+        print(f"\nresume     : executed {resumed.executed}, "
+              f"skipped {resumed.skipped} (all already stored)\n")
+
+        for result in campaign_report(ResultStore(store.path)):
+            print(result.render())
+            print()
+
+    print(
+        "note: unit seeds derive from content fingerprints, so the store "
+        "is byte-identical for any worker count or execution order."
+    )
+
+
+if __name__ == "__main__":
+    main()

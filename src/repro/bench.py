@@ -21,7 +21,11 @@ Benchmarked engines:
   fingerprint memo (the PR 2 batched-search workload);
 * ``evaluate_many.strict.uncached`` / ``.cached`` — a same-topology
   candidate batch under the Strict exponential solver, where the cache
-  shares one reachability exploration across the whole batch.
+  shares one reachability exploration across the whole batch;
+* ``campaign.cold`` / ``campaign.resume`` — the declarative campaign
+  runner on a preset grid, cold into a fresh store vs ``--resume`` on a
+  completed one (which must execute 0 units and only pay for the
+  expansion + store scan).
 """
 
 from __future__ import annotations
@@ -237,6 +241,39 @@ def run_benchmarks(*, quick: bool = False, repeats: int | None = None) -> dict:
         "bit_identical_to_uncached": bu == bc,
     }
 
+    # -- campaign runner: cold run vs --resume ------------------------
+    import tempfile
+
+    from repro.campaign import ResultStore, get_preset, run_campaign
+
+    campaign_spec = get_preset("smoke" if quick else "fig13")
+
+    def _campaign_cold():
+        with tempfile.TemporaryDirectory() as td:
+            return run_campaign(
+                campaign_spec, ResultStore(os.path.join(td, "campaign.jsonl"))
+            )
+
+    cold_t, cold = _timed(_campaign_cold, max(1, repeats // 2))
+    engines["campaign.cold"] = {
+        "median_s": cold_t, "preset": campaign_spec.name,
+        "units": cold.total, "executed": cold.executed,
+    }
+    with tempfile.TemporaryDirectory() as td:
+        store_path = os.path.join(td, "campaign.jsonl")
+        run_campaign(campaign_spec, ResultStore(store_path))
+        resume_t, resumed = _timed(
+            lambda: run_campaign(
+                campaign_spec, ResultStore(store_path), resume=True
+            ),
+            repeats,
+        )
+    engines["campaign.resume"] = {
+        "median_s": resume_t, "preset": campaign_spec.name,
+        "units": resumed.total, "executed": resumed.executed,
+        "skipped": resumed.skipped,
+    }
+
     def _ratio(num: str, den: str) -> float:
         return engines[num]["median_s"] / max(engines[den]["median_s"], 1e-12)
 
@@ -257,6 +294,7 @@ def run_benchmarks(*, quick: bool = False, repeats: int | None = None) -> dict:
             "search": _ratio("search.uncached", "search.memoized"),
             "evaluate_many.strict": _ratio("evaluate_many.strict.uncached",
                                            "evaluate_many.strict.cached"),
+            "campaign.resume": _ratio("campaign.cold", "campaign.resume"),
         },
     }
 

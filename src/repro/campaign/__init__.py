@@ -1,0 +1,53 @@
+"""Declarative campaigns: scenario specs, sweep engine, resumable store.
+
+The campaign subsystem turns the paper's hand-coded experiment drivers
+into data-driven sweeps served at scale:
+
+* :mod:`repro.campaign.spec` — :class:`CampaignSpec` /
+  :class:`ScenarioSpec` / :class:`SystemSpec`, dataclasses with a full
+  dict/JSON round-trip;
+* :mod:`repro.campaign.grid` — deterministic expansion of parameter
+  grids into fingerprint-keyed :class:`RunUnit` work items with
+  content-derived seeds;
+* :mod:`repro.campaign.runner` — execution through the
+  :mod:`repro.evaluate` registry with ``n_jobs`` fan-out and a shared
+  :class:`~repro.evaluate.cache.StructureCache`, plus status/report;
+* :mod:`repro.campaign.store` — the crash-safe, deduplicating JSONL
+  :class:`ResultStore` behind ``--resume``;
+* :mod:`repro.campaign.presets` — ready-made campaigns, including
+  ports of the ``fig10`` / ``fig13`` / ``timing`` drivers.
+
+Driven from the command line as ``python -m repro.cli campaign
+run|status|report``.
+"""
+
+from repro.campaign.grid import RunUnit, derive_seed, expand, unit_fingerprint
+from repro.campaign.presets import PRESETS, available_presets, get_preset
+from repro.campaign.runner import (
+    CampaignRunSummary,
+    campaign_report,
+    campaign_status,
+    run_campaign,
+    unit_record,
+)
+from repro.campaign.spec import CampaignSpec, ScenarioSpec, SystemSpec
+from repro.campaign.store import ResultStore
+
+__all__ = [
+    "CampaignSpec",
+    "ScenarioSpec",
+    "SystemSpec",
+    "RunUnit",
+    "expand",
+    "unit_fingerprint",
+    "derive_seed",
+    "ResultStore",
+    "run_campaign",
+    "unit_record",
+    "campaign_status",
+    "campaign_report",
+    "CampaignRunSummary",
+    "PRESETS",
+    "available_presets",
+    "get_preset",
+]

@@ -1,0 +1,382 @@
+"""Declarative scenario specifications for throughput campaigns.
+
+A campaign is data, not code: a :class:`CampaignSpec` names a set of
+:class:`ScenarioSpec` sweeps, each combining a *system* description
+(:class:`SystemSpec` — how to build the :class:`~repro.mapping.mapping.Mapping`),
+a solver from the :mod:`repro.evaluate` registry, an execution model,
+frozen solver options, and parameter *axes* whose cartesian product the
+sweep engine (:mod:`repro.campaign.grid`) expands into run units.
+
+Everything round-trips through plain dicts / JSON, so campaigns can be
+checked into a repo, diffed, and re-run bit-identically::
+
+    spec = CampaignSpec.from_json(path.read_text())
+    assert CampaignSpec.from_dict(spec.to_dict()) == spec
+
+Axis names address the three override targets:
+
+* ``"solver"`` / ``"model"`` — replace the scenario's solver or model;
+* ``"system.<param>"`` — override a system builder parameter;
+* ``"solver.<param>"`` — override a solver constructor option.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.exceptions import CampaignError, ReproError
+from repro.types import ExecutionModel
+
+#: System kinds understood by :meth:`SystemSpec.build`.
+SYSTEM_KINDS = ("named", "single_communication", "chain", "uniform_chain")
+
+_MODELS = tuple(m.value for m in ExecutionModel)
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise CampaignError(message)
+
+
+def _jsonable(value):
+    """Tuples → lists, recursively: the canonical in-memory form.
+
+    Specs normalize to what JSON can express, so
+    ``from_dict(spec.to_dict()) == spec`` holds whether a programmatic
+    caller wrote tuples or lists.
+    """
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    return value
+
+
+def _int_param(kind: str, name: str, value: object) -> int:
+    """A structural count from a spec: integers only, never truncated."""
+    if isinstance(value, int) and not isinstance(value, bool):
+        return value
+    raise CampaignError(
+        f"system kind {kind!r}: parameter {name!r} must be an integer, "
+        f"got {value!r}"
+    )
+
+
+@dataclass
+class SystemSpec:
+    """How to build a mapping: a kind plus builder parameters.
+
+    * ``named`` — one of :data:`repro.mapping.examples.NAMED_SYSTEMS`
+      (``params["name"]`` plus builder keywords);
+    * ``single_communication`` — the Section 7 two-stage pattern system
+      (``u``, ``v``, optional ``comm_time`` / ``compute_time``);
+    * ``chain`` — explicit ``works`` / ``files`` / ``speeds`` /
+      ``bandwidth`` / ``teams``;
+    * ``uniform_chain`` — identical stages replicated per ``replication``
+      on a homogeneous platform (``work``, ``file_size``, ``speed``,
+      ``bandwidth``).
+    """
+
+    kind: str
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _require(
+            self.kind in SYSTEM_KINDS,
+            f"unknown system kind {self.kind!r}; "
+            f"available: {', '.join(SYSTEM_KINDS)}",
+        )
+        _require(
+            isinstance(self.params, dict)
+            and all(isinstance(k, str) for k in self.params),
+            f"system params must be a str-keyed dict, got {self.params!r}",
+        )
+        if self.kind == "named":
+            _require(
+                isinstance(self.params.get("name"), str),
+                'a "named" system needs params["name"]',
+            )
+        self.params = _jsonable(self.params)
+
+    # ------------------------------------------------------------------
+    def with_params(self, overrides: dict) -> "SystemSpec":
+        """A copy with ``overrides`` merged into the builder parameters."""
+        return SystemSpec(self.kind, {**self.params, **overrides})
+
+    def build(self):
+        """Instantiate the described :class:`~repro.mapping.mapping.Mapping`."""
+        from repro.application.chain import Application
+        from repro.mapping.examples import (
+            named_system,
+            single_communication,
+            uniform_chain,
+        )
+        from repro.mapping.mapping import Mapping
+        from repro.platform.topology import Platform
+
+        p = dict(self.params)
+        # "named" / "single_communication" forward extras to the builder
+        # (unknown keywords fail loudly there); the two dict-read kinds
+        # need their own guard or a typo would silently use a default.
+        allowed = {
+            "chain": {"works", "files", "speeds", "bandwidth", "teams"},
+            "uniform_chain": {
+                "replication", "work", "file_size", "speed", "bandwidth",
+            },
+        }.get(self.kind)
+        if allowed is not None and set(p) - allowed:
+            raise CampaignError(
+                f"system kind {self.kind!r} does not accept parameter(s) "
+                f"{', '.join(sorted(set(p) - allowed))}; "
+                f"allowed: {', '.join(sorted(allowed))}"
+            )
+        try:
+            if self.kind == "named":
+                return named_system(p.pop("name"), **p)
+            if self.kind == "single_communication":
+                return single_communication(
+                    _int_param(self.kind, "u", p.pop("u")),
+                    _int_param(self.kind, "v", p.pop("v")),
+                    **p,
+                )
+            if self.kind == "chain":
+                app = Application.from_work(p["works"], p.get("files"))
+                platform = Platform.from_speeds(
+                    p["speeds"], p.get("bandwidth", 1.0)
+                )
+                return Mapping(app, platform, p["teams"])
+            # uniform_chain
+            reps = [
+                _int_param(self.kind, "replication", r)
+                for r in p["replication"]
+            ]
+            return uniform_chain(
+                reps,
+                work=p.get("work", 1.0),
+                file_size=p.get("file_size", 1.0),
+                speed=p.get("speed", 1.0),
+                bandwidth=p.get("bandwidth", 1.0),
+            )
+        except KeyError as exc:
+            raise CampaignError(
+                f"system kind {self.kind!r} is missing parameter {exc}"
+            ) from None
+        except (TypeError, ValueError) as exc:
+            raise CampaignError(
+                f"invalid parameters for system kind {self.kind!r}: {exc}"
+            ) from None
+        except ReproError as exc:
+            # Library validation (unknown named system, bad teams, …)
+            # surfaces as a spec problem, not a mid-run traceback.
+            raise CampaignError(
+                f"system kind {self.kind!r} cannot be built: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SystemSpec":
+        _require(
+            isinstance(data, dict), f"a system spec must be an object: {data!r}"
+        )
+        unknown = set(data) - {"kind", "params"}
+        _require(
+            not unknown,
+            f"unknown SystemSpec keys: {', '.join(sorted(map(str, unknown)))}",
+        )
+        _require("kind" in data, "SystemSpec needs a 'kind'")
+        params = data.get("params", {})
+        _require(
+            isinstance(params, dict),
+            f"system params must be an object, got {params!r}",
+        )
+        return cls(kind=data["kind"], params=dict(params))
+
+
+@dataclass
+class ScenarioSpec:
+    """One sweep: a system, a solver/model baseline, and parameter axes."""
+
+    name: str
+    system: SystemSpec
+    solver: str = "deterministic"
+    model: str = "overlap"
+    options: dict = field(default_factory=dict)
+    axes: dict = field(default_factory=dict)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        _require(
+            isinstance(self.name, str) and bool(self.name),
+            "a scenario needs a non-empty name",
+        )
+        _require(
+            isinstance(self.solver, str),
+            f"scenario {self.name!r}: solver must be a registry name",
+        )
+        _require(
+            self.model in _MODELS,
+            f"scenario {self.name!r}: model must be one of {_MODELS}, "
+            f"got {self.model!r}",
+        )
+        _require(
+            isinstance(self.options, dict),
+            f"scenario {self.name!r}: options must be a dict",
+        )
+        _require(
+            isinstance(self.axes, dict),
+            f"scenario {self.name!r}: axes must be a dict",
+        )
+        for axis, values in self.axes.items():
+            _require(
+                axis in ("solver", "model")
+                or axis.startswith("system.")
+                or axis.startswith("solver."),
+                f"scenario {self.name!r}: axis {axis!r} must be 'solver', "
+                "'model', 'system.<param>' or 'solver.<param>'",
+            )
+            _require(
+                isinstance(values, (list, tuple)) and len(values) > 0,
+                f"scenario {self.name!r}: axis {axis!r} needs a non-empty "
+                "list of values",
+            )
+        if "model" in self.axes:
+            for v in self.axes["model"]:
+                _require(
+                    v in _MODELS,
+                    f"scenario {self.name!r}: axis 'model' value {v!r} "
+                    f"must be one of {_MODELS}",
+                )
+        self.options = _jsonable(self.options)
+        self.axes = {a: _jsonable(list(v)) for a, v in self.axes.items()}
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "system": self.system.to_dict(),
+            "solver": self.solver,
+            "model": self.model,
+            "options": dict(self.options),
+            "axes": {axis: list(values) for axis, values in self.axes.items()},
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        _require(
+            isinstance(data, dict), f"a scenario must be an object: {data!r}"
+        )
+        unknown = set(data) - {
+            "name", "system", "solver", "model", "options", "axes", "description",
+        }
+        _require(
+            not unknown,
+            f"unknown ScenarioSpec keys: {', '.join(sorted(map(str, unknown)))}",
+        )
+        _require(
+            "name" in data and "system" in data,
+            "ScenarioSpec needs at least 'name' and 'system'",
+        )
+        options = data.get("options", {})
+        _require(
+            isinstance(options, dict),
+            f"scenario options must be an object, got {options!r}",
+        )
+        axes = data.get("axes", {})
+        _require(
+            isinstance(axes, dict),
+            f"scenario axes must be an object, got {axes!r}",
+        )
+        return cls(
+            name=data["name"],
+            system=SystemSpec.from_dict(data["system"]),
+            solver=data.get("solver", "deterministic"),
+            model=data.get("model", "overlap"),
+            options=dict(options),
+            # Pass non-list axis values through untouched so validation
+            # rejects them (list("abc") would explode into characters).
+            axes={
+                a: list(v) if isinstance(v, (list, tuple)) else v
+                for a, v in axes.items()
+            },
+            description=data.get("description", ""),
+        )
+
+
+@dataclass
+class CampaignSpec:
+    """A named collection of scenarios sharing one base seed."""
+
+    name: str
+    scenarios: list[ScenarioSpec] = field(default_factory=list)
+    seed: int = 0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        _require(
+            isinstance(self.name, str) and bool(self.name),
+            "a campaign needs a non-empty name",
+        )
+        _require(
+            bool(self.scenarios),
+            f"campaign {self.name!r} needs at least one scenario",
+        )
+        names = [s.name for s in self.scenarios]
+        _require(
+            len(names) == len(set(names)),
+            f"campaign {self.name!r} has duplicate scenario names",
+        )
+        _require(
+            isinstance(self.seed, int) and not isinstance(self.seed, bool),
+            f"campaign {self.name!r}: seed must be an int",
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "description": self.description,
+            "scenarios": [s.to_dict() for s in self.scenarios],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignSpec":
+        _require(
+            isinstance(data, dict), f"a campaign spec must be an object: {data!r}"
+        )
+        unknown = set(data) - {"name", "seed", "description", "scenarios"}
+        _require(
+            not unknown,
+            f"unknown CampaignSpec keys: {', '.join(sorted(map(str, unknown)))}",
+        )
+        _require("name" in data, "CampaignSpec needs a 'name'")
+        scenarios = data.get("scenarios", [])
+        _require(
+            isinstance(scenarios, list),
+            f"'scenarios' must be a list of objects, got {scenarios!r}",
+        )
+        return cls(
+            name=data["name"],
+            scenarios=[ScenarioSpec.from_dict(s) for s in scenarios],
+            # Not coerced: a float or string seed is a spec mistake that
+            # __post_init__ rejects, not something to truncate silently.
+            seed=data.get("seed", 0),
+            description=data.get("description", ""),
+        )
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CampaignError(f"campaign spec is not valid JSON: {exc}") from None
+        _require(isinstance(data, dict), "campaign spec JSON must be an object")
+        return cls.from_dict(data)

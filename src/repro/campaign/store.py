@@ -1,0 +1,153 @@
+"""Persistent, resumable campaign result store (JSONL + fingerprint index).
+
+One record per line, each a JSON object carrying at least the unit
+``fingerprint``; lines are written with sorted keys and fsync'd, so
+
+* **crash-safe append** — a kill mid-write loses at most the trailing
+  partial line, which the loader drops (and counts) instead of failing;
+* **dedup** — a fingerprint already present is never appended twice;
+* **resume** — a runner checks ``fingerprint in store`` and skips
+  completed units; records survive process restarts byte-identically.
+
+Records are written deterministically (sorted keys, ``repr``-stable
+floats), so two stores produced by equivalent runs — e.g. serial vs
+``n_jobs > 1`` — are byte-identical line for line.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.exceptions import CampaignError
+
+
+class ResultStore:
+    """Append-only JSONL store indexed by unit fingerprint."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self.dropped_lines = 0
+        self._records: list[dict] = []
+        self._index: dict[str, dict] = {}
+        self._load()
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        # _good_size: byte offset of the end of the last intact record —
+        # where a repairing append truncates a torn tail back to.
+        self._good_size = 0
+        self._tail_torn = False
+        self._needs_newline = False
+        if not self.path.exists():
+            return
+        raw = self.path.read_bytes()
+        pos, lineno = 0, 0
+        while pos < len(raw):
+            newline = raw.find(b"\n", pos)
+            end = len(raw) if newline == -1 else newline
+            line = raw[pos:end]
+            unterminated = newline == -1
+            lineno += 1
+            if line.strip():
+                try:
+                    record = json.loads(line.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    record = None
+                if not isinstance(record, dict) or "fingerprint" not in record:
+                    if unterminated:
+                        # Torn trailing write from a crash: drop, don't
+                        # fail. The next append truncates it away.
+                        self.dropped_lines += 1
+                        self._tail_torn = True
+                        return
+                    raise CampaignError(
+                        f"{self.path}: line {lineno} is not a campaign "
+                        "record (corrupt store?)"
+                    )
+                if record["fingerprint"] in self._index:
+                    self.dropped_lines += 1
+                else:
+                    self._records.append(record)
+                    self._index[record["fingerprint"]] = record
+            if unterminated:
+                # Intact content that lost only its newline: keep it and
+                # restore the terminator now so line-oriented consumers
+                # count correctly even if nothing is ever appended.
+                self._good_size = len(raw)
+                self._needs_newline = True
+                self._repair_newline()
+                return
+            pos = end + 1
+            self._good_size = pos
+
+    def _repair_newline(self) -> None:
+        """Re-terminate an intact trailing record, if the file allows."""
+        try:
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write("\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+        except OSError:
+            return  # read-only context: the next append() repairs instead
+        self._needs_newline = False
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def append(self, record: dict) -> bool:
+        """Persist ``record`` unless its fingerprint is already stored.
+
+        Returns ``True`` when the record was written. The line is
+        flushed and fsync'd before the index is updated, so a crash can
+        only ever lose (part of) the line being written — never a
+        record the index already claims to hold.
+        """
+        fingerprint = record.get("fingerprint")
+        if not isinstance(fingerprint, str) or not fingerprint:
+            raise CampaignError("campaign records need a string 'fingerprint'")
+        if fingerprint in self._index:
+            return False
+        line = json.dumps(record, sort_keys=True)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self._tail_torn:
+            with open(self.path, "r+b") as fh:
+                fh.truncate(self._good_size)
+                fh.flush()
+                os.fsync(fh.fileno())
+            self._tail_torn = False
+        prefix = "\n" if self._needs_newline else ""
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(prefix + line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._needs_newline = False
+        self._records.append(record)
+        self._index[fingerprint] = record
+        return True
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def records(self) -> list[dict]:
+        """All records in append order (shallow copies)."""
+        return [dict(r) for r in self._records]
+
+    def get(self, fingerprint: str) -> dict | None:
+        record = self._index.get(fingerprint)
+        return dict(record) if record is not None else None
+
+    def fingerprints(self) -> tuple[str, ...]:
+        return tuple(self._index)
+
+    def __contains__(self, fingerprint: object) -> bool:
+        return fingerprint in self._index
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultStore({str(self.path)!r}, records={len(self)})"

@@ -1,4 +1,4 @@
-"""Command-line driver for the experimental campaign and the solvers.
+"""Command-line driver for the experiments, solvers and campaigns.
 
 Usage::
 
@@ -7,12 +7,18 @@ Usage::
     python -m repro.cli run all --scale 0.1
     python -m repro.cli solve example_a --solver bounds --model strict
     python -m repro.cli search --solver deterministic --restarts 5 --n-jobs 4
+    python -m repro.cli campaign run --preset smoke --store campaign.jsonl
+    python -m repro.cli campaign run --spec my_campaign.json --store c.jsonl \
+        --n-jobs 4 --resume
+    python -m repro.cli campaign status --preset smoke --store campaign.jsonl
+    python -m repro.cli campaign report --store campaign.jsonl
     python -m repro.cli bench --quick --output BENCH_PR3.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -40,26 +46,17 @@ def _scaled_config(name: str, module, scale: float):
     return cfg
 
 
-def _named_system(name: str):
-    """Resolve a named example system into a Mapping."""
-    from repro.experiments.fig10 import paper_system
-    from repro.mapping.examples import example_a, example_c
+def _system_choices() -> tuple[str, ...]:
+    from repro.mapping.examples import NAMED_SYSTEMS
 
-    systems = {
-        "example_a": example_a,
-        "example_c": example_c,
-        "paper": paper_system,
-    }
-    return systems[name]()
-
-
-SYSTEM_CHOICES = ("example_a", "example_c", "paper")
+    return tuple(sorted(NAMED_SYSTEMS))
 
 
 def _cmd_solve(args, parser) -> int:
     from repro.evaluate import StructureCache, evaluate, get_solver
+    from repro.mapping.examples import named_system
 
-    mapping = _named_system(args.system)
+    mapping = named_system(args.system)
     if args.solver == "simulation":
         options = {"n_datasets": args.n_datasets, "seed": args.sim_seed}
     else:
@@ -121,17 +118,110 @@ def _cmd_search(args, parser) -> int:
     return 0
 
 
+def _load_campaign_spec(args, parser):
+    """Resolve --preset / --spec (exactly one) into a CampaignSpec."""
+    from repro.campaign import CampaignSpec, get_preset
+    from repro.exceptions import CampaignError
+
+    if bool(args.preset) == bool(args.spec):
+        parser.error("pass exactly one of --preset or --spec")
+    try:
+        if args.preset:
+            spec = get_preset(args.preset)
+        else:
+            try:
+                with open(args.spec, encoding="utf-8") as fh:
+                    text = fh.read()
+            except OSError as exc:
+                parser.error(f"cannot read {args.spec}: {exc}")
+            spec = CampaignSpec.from_json(text)
+    except CampaignError as exc:
+        parser.error(str(exc))
+    if getattr(args, "seed", None) is not None:
+        spec.seed = args.seed
+    return spec
+
+
+def _cmd_campaign(args, parser) -> int:
+    from repro.campaign import (
+        ResultStore,
+        campaign_report,
+        campaign_status,
+        run_campaign,
+    )
+    from repro.exceptions import CampaignError
+
+    try:
+        store = ResultStore(args.store)
+    except (CampaignError, OSError) as exc:
+        parser.error(str(exc))
+
+    if args.campaign_command == "report":
+        # run/status legitimately start from a missing store; report of
+        # one can only be a typo'd path.
+        if not store.path.exists():
+            parser.error(f"store {store.path} does not exist")
+        results = campaign_report(store, campaign=args.campaign)
+        payload = [r.to_dict() for r in results]
+        if args.json == "-":
+            # Pure-JSON mode: nothing else on stdout, pipeable to jq.
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        if not results:
+            print(f"store {store.path} holds no campaign results")
+        for result in results:
+            print(result.render())
+            print()
+        if args.json:
+            # Written even when empty, so scripted consumers always
+            # find the file (an empty array, not a missing path).
+            try:
+                with open(args.json, "w", encoding="utf-8") as fh:
+                    json.dump(payload, fh, indent=2, sort_keys=True)
+                    fh.write("\n")
+            except OSError as exc:
+                parser.error(f"cannot write {args.json}: {exc}")
+            print(f"wrote {args.json}")
+        return 0
+
+    spec = _load_campaign_spec(args, parser)
+
+    if args.campaign_command == "status":
+        try:
+            rows = campaign_status(spec, store)
+        except CampaignError as exc:
+            parser.error(str(exc))
+        remaining = 0
+        for name, done, total in rows:
+            remaining += total - done
+            print(f"{name:32s} {done}/{total} done")
+        print(f"remaining  : {remaining}")
+        return 0 if remaining == 0 else 1
+
+    # campaign run
+    if args.n_jobs < 1:
+        parser.error("--n-jobs must be >= 1")
+    try:
+        summary = run_campaign(
+            spec, store, n_jobs=args.n_jobs, resume=args.resume
+        )
+    except CampaignError as exc:
+        parser.error(str(exc))
+    print(summary.render())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
-    from repro.experiments import ALL_EXPERIMENTS
+    from repro.experiments import experiment_names
 
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Reproduce the tables and figures of the paper (Section 7).",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("list", help="list available experiments")
+    sub.add_parser("list", help="list available experiments and campaign presets")
     runp = sub.add_parser("run", help="run one experiment (or 'all')")
-    runp.add_argument("experiment", choices=[*ALL_EXPERIMENTS, "all"])
+    runp.add_argument("experiment", choices=[*experiment_names(), "all"])
     runp.add_argument(
         "--scale",
         type=float,
@@ -144,7 +234,7 @@ def main(argv: list[str] | None = None) -> int:
     solvep = sub.add_parser(
         "solve", help="score a named example system with a registered solver"
     )
-    solvep.add_argument("system", choices=SYSTEM_CHOICES)
+    solvep.add_argument("system", choices=_system_choices())
     solvep.add_argument(
         "--solver",
         choices=available_solvers(),
@@ -186,6 +276,61 @@ def main(argv: list[str] | None = None) -> int:
         help="workers for batched candidate scoring (default: serial)",
     )
 
+    from repro.campaign import available_presets
+
+    campp = sub.add_parser(
+        "campaign",
+        help="declarative scenario sweeps with a persistent, resumable store",
+    )
+    csub = campp.add_subparsers(dest="campaign_command", required=True)
+    crun = csub.add_parser(
+        "run", help="execute every pending unit of a campaign into a store"
+    )
+    cstatus = csub.add_parser(
+        "status",
+        help="per-scenario completion of a store against a spec "
+        "(exits 1 while units remain, 0 when complete)",
+    )
+    creport = csub.add_parser(
+        "report", help="render per-scenario result tables from a store"
+    )
+    for sp in (crun, cstatus):
+        sp.add_argument(
+            "--preset",
+            choices=available_presets(),
+            help="a ready-made campaign spec",
+        )
+        sp.add_argument(
+            "--spec", help="path of a campaign spec JSON file", metavar="FILE"
+        )
+        sp.add_argument(
+            "--seed", type=int, default=None,
+            help="override the spec's base seed",
+        )
+    for sp in (crun, cstatus, creport):
+        sp.add_argument(
+            "--store", required=True,
+            help="path of the JSONL result store", metavar="FILE",
+        )
+    crun.add_argument(
+        "--n-jobs", type=int, default=1,
+        help="workers for unit evaluation (default: serial; results are "
+        "bit-identical either way)",
+    )
+    crun.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue a populated store, skipping completed units",
+    )
+    creport.add_argument(
+        "--campaign", default=None,
+        help="only report records of this campaign name",
+    )
+    creport.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="also dump the report tables as JSON ('-' for stdout)",
+    )
+
     benchp = sub.add_parser(
         "bench", help="run the engine micro-benchmarks and write a JSON report"
     )
@@ -217,6 +362,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_solve(args, parser)
     if args.command == "search":
         return _cmd_search(args, parser)
+    if args.command == "campaign":
+        return _cmd_campaign(args, parser)
 
     if args.command == "bench":
         from repro.bench import render_report, run_benchmarks, write_report
@@ -239,14 +386,26 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "list":
-        for name, module in ALL_EXPERIMENTS.items():
-            doc = (module.__doc__ or "").strip().splitlines()[0]
-            print(f"{name:8s} {doc}")
+        from repro.campaign import get_preset
+        from repro.experiments import experiment_description
+
+        print("experiments:")
+        for name in experiment_names():
+            print(f"  {name:8s} {experiment_description(name)}")
+        print("campaign presets (campaign run --preset <name>):")
+        for name in available_presets():
+            spec = get_preset(name)
+            print(f"  {name:8s} {spec.description}")
         return 0
 
-    names = list(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    from repro.experiments import get_experiment
+
+    names = (
+        list(experiment_names()) if args.experiment == "all"
+        else [args.experiment]
+    )
     for name in names:
-        module = ALL_EXPERIMENTS[name]
+        module = get_experiment(name)
         cfg = _scaled_config(name, module, args.scale)
         result = module.run(cfg)
         print(result.render())
@@ -255,4 +414,11 @@ def main(argv: list[str] | None = None) -> int:
 
 
 if __name__ == "__main__":  # pragma: no cover
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # stdout consumer (head, grep -q, …) closed the pipe early: the
+        # Unix-conventional quiet exit, not a traceback. Redirect stdout
+        # to devnull so the interpreter's shutdown flush can't re-raise.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(141)  # 128 + SIGPIPE

@@ -16,7 +16,12 @@ One seam ties every mapping-scoring path of the library together:
 heuristics all delegate here; new backends only need ``@register_solver``.
 """
 
-from repro.evaluate.batch import evaluate, evaluate_many, resolve_solver
+from repro.evaluate.batch import (
+    evaluate,
+    evaluate_many,
+    evaluate_tasks,
+    resolve_solver,
+)
 from repro.evaluate.cache import StructureCache
 from repro.evaluate.fingerprint import (
     fingerprint_digest,
@@ -32,12 +37,14 @@ from repro.evaluate.solvers import (
     available_solvers,
     get_solver,
     register_solver,
+    solver_is_stochastic,
     solver_options,
 )
 
 __all__ = [
     "evaluate",
     "evaluate_many",
+    "evaluate_tasks",
     "resolve_solver",
     "StructureCache",
     "mapping_fingerprint",
@@ -51,5 +58,6 @@ __all__ = [
     "available_solvers",
     "get_solver",
     "register_solver",
+    "solver_is_stochastic",
     "solver_options",
 ]

@@ -1,12 +1,15 @@
 """Single and batched mapping evaluation through the solver registry.
 
 :func:`evaluate` scores one mapping; :func:`evaluate_many` scores a
-whole candidate batch with fingerprint-level deduplication, an optional
-shared :class:`~repro.evaluate.cache.StructureCache` memo, and an
-optional process pool (the same fan-out discipline as
-:func:`repro.sim.runner.replicate`: work is dispatched in stream order
+whole candidate batch under one solver; :func:`evaluate_tasks` scores a
+heterogeneous batch where every task brings its own solver and model
+(the campaign runner's shape). Both batch APIs share one core:
+fingerprint-level deduplication through an optional
+:class:`~repro.evaluate.cache.StructureCache` memo, and an optional
+process pool with the same fan-out discipline as
+:func:`repro.sim.runner.replicate` — work is dispatched in stream order
 and folded back by index, so ``n_jobs > 1`` is bit-identical to the
-serial loop).
+serial loop.
 """
 
 from __future__ import annotations
@@ -21,6 +24,9 @@ from repro.evaluate.cache import StructureCache
 from repro.evaluate.solvers import ThroughputSolver, get_solver
 from repro.mapping.mapping import Mapping
 from repro.types import ExecutionModel
+
+#: One unit of batched work: a ready solver, a mapping, a coerced model.
+Task = tuple[ThroughputSolver, Mapping, ExecutionModel]
 
 
 def resolve_solver(solver: ThroughputSolver | str, options: dict) -> ThroughputSolver:
@@ -97,31 +103,102 @@ def evaluate_many(
     """
     s = resolve_solver(solver, options)
     model = ExecutionModel.coerce(model)
-    batch = list(mappings)
     if n_jobs < 1:
         raise ValueError("n_jobs must be >= 1")
     if cache is None:
         cache = StructureCache()
-
-    results: list[float | None] = [None] * len(batch)
-    opts_key = _options_key(s)
-
+    tasks: list[Task] = [(s, mapping, model) for mapping in mappings]
     if not cache.enabled:
-        # Uncached semantics: every request is evaluated independently
-        # (the pre-refactor cost model; used by the bench baseline).
-        order = list(range(len(batch)))
-        values = _run(s, [batch[i] for i in order], model, n_jobs)
-        for i, value in zip(order, values):
-            results[i] = cache.store(
-                cache.score_key(batch[i], model, s.name, opts_key), value
-            )
-        return results  # type: ignore[return-value]
+        return _run_uncached(tasks, cache, n_jobs)
+    return _evaluate_batch(tasks, cache, n_jobs)
 
+
+def evaluate_tasks(
+    tasks: Iterable[tuple[ThroughputSolver | str, Mapping, ExecutionModel | str]],
+    *,
+    cache: StructureCache | None = None,
+    n_jobs: int = 1,
+    pool: ProcessPoolExecutor | None = None,
+) -> list[float]:
+    """Score a heterogeneous batch where every task brings its own solver.
+
+    Each task is a ``(solver, mapping, model)`` triple — a ready solver
+    instance or a registry name (names get default options; configure an
+    instance for anything else). Unlike :func:`evaluate_many`, one batch
+    may mix solvers, options and models, which is what the campaign
+    runner needs: a sweep's units differ per-axis in all three.
+
+    The guarantees match :func:`evaluate_many`: tasks are deduplicated
+    on ``(solver, options, timing fingerprint)`` through the shared
+    ``cache`` memo, unique work is dispatched in stream order and folded
+    back by index, and because solvers are pure functions of
+    ``(mapping, model)``, ``n_jobs > 1`` is bit-identical to the serial
+    loop.
+
+    ``pool`` lets a caller issuing many batches (the campaign runner's
+    crash-safe chunks) amortize one executor across all of them instead
+    of spawning workers per call; it is ignored when ``n_jobs == 1`` and
+    never shut down here.
+    """
+    norm: list[Task] = [
+        (resolve_solver(solver, {}), mapping, ExecutionModel.coerce(model))
+        for solver, mapping, model in tasks
+    ]
+    if n_jobs < 1:
+        raise ValueError("n_jobs must be >= 1")
+    if cache is None:
+        cache = StructureCache()
+    if not cache.enabled:
+        return _run_uncached(norm, cache, n_jobs, pool=pool)
+    return _evaluate_batch(norm, cache, n_jobs, pool=pool)
+
+
+def _task_options_key(memo: dict[int, tuple], solver: ThroughputSolver) -> tuple:
+    """``_options_key`` memoized per solver instance (one, not N, per batch)."""
+    key = memo.get(id(solver))
+    if key is None:
+        key = memo[id(solver)] = _options_key(solver)
+    return key
+
+
+def _run_uncached(
+    tasks: list[Task],
+    cache: StructureCache,
+    n_jobs: int,
+    pool: ProcessPoolExecutor | None = None,
+) -> list[float]:
+    """Disabled-cache semantics: every request evaluated independently.
+
+    This is the pre-refactor cost model (no dedup, no memo) that the
+    bench baselines measure; the disabled cache still counts misses.
+    """
+    values = _run_tasks(tasks, n_jobs, pool=pool)
+    opts_keys: dict[int, tuple] = {}
+    return [
+        cache.store(
+            cache.score_key(mapping, model, s.name, _task_options_key(opts_keys, s)),
+            value,
+        )
+        for (s, mapping, model), value in zip(tasks, values)
+    ]
+
+
+def _evaluate_batch(
+    tasks: list[Task],
+    cache: StructureCache,
+    n_jobs: int,
+    pool: ProcessPoolExecutor | None = None,
+) -> list[float]:
+    """Shared dedup + dispatch + fold core of the two batch APIs."""
+    results: list[float | None] = [None] * len(tasks)
     firsts: dict[tuple, int] = {}
     keys: list[tuple] = []
     pending: list[int] = []
-    for idx, mapping in enumerate(batch):
-        key = cache.score_key(mapping, model, s.name, opts_key)
+    opts_keys: dict[int, tuple] = {}
+    for idx, (s, mapping, model) in enumerate(tasks):
+        key = cache.score_key(
+            mapping, model, s.name, _task_options_key(opts_keys, s)
+        )
         keys.append(key)
         cached = cache.lookup(key)
         if cached is not None:
@@ -132,39 +209,73 @@ def evaluate_many(
             firsts[key] = idx
             pending.append(idx)
 
-    values = _run(s, [batch[i] for i in pending], model, n_jobs, cache=cache)
+    values = _run_tasks([tasks[i] for i in pending], n_jobs, cache=cache, pool=pool)
     fresh: dict[tuple, float] = {}
     for i, value in zip(pending, values):
         fresh[keys[i]] = cache.store(keys[i], value)
-    for idx in range(len(batch)):
+    for idx in range(len(tasks)):
         if results[idx] is None:
             results[idx] = fresh[keys[idx]]
     return results  # type: ignore[return-value]
 
 
-def _run(
-    solver: ThroughputSolver,
-    mappings: list[Mapping],
-    model: ExecutionModel,
+def _run_tasks(
+    tasks: list[Task],
     n_jobs: int,
     cache: StructureCache | None = None,
+    pool: ProcessPoolExecutor | None = None,
 ) -> list[float]:
-    """Evaluate ``mappings`` serially or over a process pool, in order."""
-    n_jobs = min(n_jobs, len(mappings))
+    """Evaluate ``tasks`` serially or over a process pool, in order.
+
+    A caller-provided ``pool`` is reused (and left running); otherwise a
+    fresh executor is spawned per call. On any serialization failure the
+    batch falls back to the serial loop with a :func:`_warn_serial_fallback`
+    warning pointed at the public API's caller.
+    """
+    n_jobs = min(n_jobs, len(tasks))
     if n_jobs > 1:
-        payloads = [(solver, mapping, model.value) for mapping in mappings]
-        if not _picklable(payloads[0]):
-            warnings.warn(
-                "evaluate_many(): solver or mapping is not picklable; "
-                "falling back to serial evaluation",
-                RuntimeWarning,
-                stacklevel=3,
-            )
+        payloads = [(s, mapping, model.value) for s, mapping, model in tasks]
+        # Pre-flight probe: every *distinct* solver instance plus one
+        # representative mapping payload. Solvers are where pickling
+        # varies in a heterogeneous batch (custom backends may hold
+        # closures); probing them all stays O(#solvers), not O(batch),
+        # and a worker-side solve() exception is never mistaken for a
+        # serialization failure.
+        probes = list({id(s): s for s, _, _ in tasks}.values())
+        if not _picklable((payloads[0], probes)):
+            _warn_serial_fallback()
         else:
             chunksize = max(1, len(payloads) // (4 * n_jobs))
-            with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-                return list(pool.map(_solve_payload, payloads, chunksize=chunksize))
-    return [solver.solve(mapping, model, cache=cache) for mapping in mappings]
+            try:
+                if pool is not None:
+                    return list(
+                        pool.map(_solve_payload, payloads, chunksize=chunksize)
+                    )
+                with ProcessPoolExecutor(max_workers=n_jobs) as own:
+                    return list(
+                        own.map(_solve_payload, payloads, chunksize=chunksize)
+                    )
+            except (pickle.PicklingError, TypeError, AttributeError):
+                # The probe covers solvers and the first mapping; a later
+                # unpicklable mapping surfaces here as any of these types
+                # (CPython raises TypeError/AttributeError for most). A
+                # retro-probe separates that from a genuine worker-side
+                # error of the same type, which must propagate.
+                if _picklable(payloads):
+                    raise
+                _warn_serial_fallback()
+    return [s.solve(mapping, model, cache=cache) for s, mapping, model in tasks]
+
+
+def _warn_serial_fallback() -> None:
+    # stacklevel 5: this helper → _run_tasks → (_evaluate_batch |
+    # _run_uncached) → public API → its caller.
+    warnings.warn(
+        "batched evaluation: a solver or mapping is not picklable; "
+        "falling back to serial evaluation",
+        RuntimeWarning,
+        stacklevel=5,
+    )
 
 
 def _picklable(obj: object) -> bool:

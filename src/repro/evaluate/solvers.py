@@ -19,7 +19,7 @@ instances to worker processes byte-for-byte.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields, is_dataclass
-from typing import TYPE_CHECKING, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, ClassVar, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -73,6 +73,28 @@ def available_solvers() -> tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
+def _lookup(name: str) -> type:
+    """Registry lookup with the canonical unknown-solver error."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnsupportedModelError(
+            f"unknown solver {name!r}; available: {', '.join(available_solvers())}"
+        ) from None
+
+
+def solver_is_stochastic(name: str) -> bool:
+    """Whether the backend's value depends on a random stream.
+
+    Backends declare it with a ``stochastic = True`` class attribute
+    (see :class:`SimulationSolver`); deterministic analyses leave it
+    unset. The campaign grid uses this to decide which units are
+    seed-keyed: a stochastic unit's identity must include the campaign
+    seed, an exact analysis' must not.
+    """
+    return bool(getattr(_lookup(name), "stochastic", False))
+
+
 def solver_options(name: str) -> tuple[str, ...]:
     """Constructor option names the solver registered under ``name`` accepts.
 
@@ -80,12 +102,7 @@ def solver_options(name: str) -> tuple[str, ...]:
     the options a backend understands instead of hard-coding per-solver
     signatures.
     """
-    try:
-        cls = _REGISTRY[name]
-    except KeyError:
-        raise UnsupportedModelError(
-            f"unknown solver {name!r}; available: {', '.join(available_solvers())}"
-        ) from None
+    cls = _lookup(name)
     if is_dataclass(cls):
         return tuple(f.name for f in fields(cls))
     return ()
@@ -98,13 +115,7 @@ def get_solver(name: str, **options) -> ThroughputSolver:
     or ``max_states``); unknown names raise ``UnsupportedModelError`` with
     the available choices.
     """
-    try:
-        cls = _REGISTRY[name]
-    except KeyError:
-        raise UnsupportedModelError(
-            f"unknown solver {name!r}; available: {', '.join(available_solvers())}"
-        ) from None
-    return cls(**options)
+    return _lookup(name)(**options)
 
 
 def _strict_net(mapping: Mapping, cache: StructureCache | None):
@@ -264,6 +275,10 @@ class SimulationSolver:
     same stream).
     """
 
+    #: This backend's value depends on its random stream (campaign
+    #: units scored by it are therefore seed-keyed).
+    stochastic: ClassVar[bool] = True
+
     n_datasets: int = 1_000
     law: str = "exponential"
     law_params: tuple[tuple[str, float], ...] = field(default=())
@@ -271,11 +286,14 @@ class SimulationSolver:
     estimator: str = "total"
 
     def __post_init__(self) -> None:
-        # Accept a dict for convenience; store the canonical tuple form.
+        # Accept a dict or any pair sequence (JSON specs can only say
+        # lists); store the canonical sorted-tuple form, which is what
+        # keeps the solver hashable for the score-memo cache keys.
         if isinstance(self.law_params, dict):
-            object.__setattr__(
-                self, "law_params", tuple(sorted(self.law_params.items()))
-            )
+            items = self.law_params.items()
+        else:
+            items = (tuple(p) for p in self.law_params)
+        object.__setattr__(self, "law_params", tuple(sorted(items)))
 
     def rng_for(self, mapping: Mapping, model: ExecutionModel | str) -> np.random.Generator:
         digest = fingerprint_digest(mapping_fingerprint(mapping, model))

@@ -62,3 +62,13 @@ class ConvergenceError(ReproError):
 
 class UnsupportedModelError(ReproError):
     """The requested computation is undefined for the given execution model."""
+
+
+class CampaignError(ReproError):
+    """A campaign specification, store, or run request is inconsistent.
+
+    Raised when a declarative scenario spec fails validation (unknown
+    keys, unknown system kinds, malformed grids), when a result store
+    conflicts with the requested run (e.g. re-running into a populated
+    store without ``resume``), or when a preset name is unknown.
+    """

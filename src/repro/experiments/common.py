@@ -28,6 +28,41 @@ class ExperimentResult:
         return [r[key] for r in self.rows]
 
     # ------------------------------------------------------------------
+    # JSON round-trip (the campaign store and `campaign report` speak this)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-dict form, ``json.dumps``-ready and loss-free for JSON
+        value types (tuples in rows come back as lists)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "columns": list(self.columns),
+            "rows": [dict(r) for r in self.rows],
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output (extra keys rejected)."""
+        unknown = set(data) - {"name", "description", "columns", "rows", "notes"}
+        if unknown:
+            raise ValueError(
+                f"unknown ExperimentResult keys: {', '.join(sorted(unknown))}"
+            )
+        missing = {"name", "description", "columns"} - set(data)
+        if missing:
+            raise ValueError(
+                f"missing ExperimentResult keys: {', '.join(sorted(missing))}"
+            )
+        return cls(
+            name=data["name"],
+            description=data["description"],
+            columns=list(data["columns"]),
+            rows=[dict(r) for r in data.get("rows", [])],
+            notes=list(data.get("notes", [])),
+        )
+
+    # ------------------------------------------------------------------
     def render(self) -> str:
         """ASCII table, one line per row — the paper's rows, regenerated."""
         def fmt(v: object) -> str:

@@ -13,12 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
-from repro.application.chain import Application
 from repro.evaluate import evaluate
 from repro.experiments.common import ExperimentResult
 from repro.mapping.mapping import Mapping
 from repro.petri import build_overlap_tpn
-from repro.platform.topology import Platform
 from repro.sim.system_sim import simulate_system
 from repro.sim.tpn_sim import simulate_tpn
 
@@ -27,14 +25,11 @@ def paper_system(
     *, work: float = 10.0, file_size: float = 10.0
 ) -> Mapping:
     """The 7-stage system of Figs. 10/11, replicated (1,3,4,5,6,7,1)."""
-    reps = [1, 3, 4, 5, 6, 7, 1]
-    app = Application.uniform(len(reps), work, file_size)
-    plat = Platform.homogeneous(sum(reps), 1.0, 1.0)
-    teams, k = [], 0
-    for r in reps:
-        teams.append(list(range(k, k + r)))
-        k += r
-    return Mapping(app, plat, teams)
+    from repro.mapping.examples import uniform_chain
+
+    return uniform_chain(
+        [1, 3, 4, 5, 6, 7, 1], work=work, file_size=file_size
+    )
 
 
 @dataclass

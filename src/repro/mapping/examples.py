@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.application.chain import Application
+from repro.exceptions import InvalidMappingError
 from repro.mapping.mapping import Mapping
 from repro.platform.topology import Platform
 
@@ -54,6 +55,28 @@ def example_a() -> Mapping:
     return Mapping(app, platform, teams=[[0], [1, 2], [3, 4, 5], [6]])
 
 
+def uniform_chain(
+    replication: "list[int] | tuple[int, ...]",
+    *,
+    work: float = 1.0,
+    file_size: float = 1.0,
+    speed: float = 1.0,
+    bandwidth: float = 1.0,
+) -> Mapping:
+    """Identical stages replicated per ``replication``, teams in
+    processor order on a homogeneous platform — the shape of every
+    replication-structure figure of the paper (and of the campaign
+    ``uniform_chain`` system kind)."""
+    reps = [int(r) for r in replication]
+    app = Application.uniform(len(reps), work, file_size)
+    platform = Platform.homogeneous(sum(reps), speed, bandwidth)
+    teams, k = [], 0
+    for r in reps:
+        teams.append(list(range(k, k + r)))
+        k += r
+    return Mapping(app, platform, teams)
+
+
 def example_c(
     *, work: float = 100.0, file_size: float = 50.0, speed: float = 1.0,
     bandwidth: float = 1.0,
@@ -65,14 +88,10 @@ def example_c(
     ``m = lcm(5, 21, 27, 11) = 10395`` rows, so only the symbolic /
     decomposition methods should be applied to it.
     """
-    reps = [5, 21, 27, 11]
-    app = Application.uniform(4, work, file_size)
-    platform = Platform.homogeneous(sum(reps), speed, bandwidth)
-    teams, k = [], 0
-    for r in reps:
-        teams.append(list(range(k, k + r)))
-        k += r
-    return Mapping(app, platform, teams)
+    return uniform_chain(
+        [5, 21, 27, 11],
+        work=work, file_size=file_size, speed=speed, bandwidth=bandwidth,
+    )
 
 
 def single_communication(
@@ -102,3 +121,36 @@ def single_communication(
         bw = np.asarray(bandwidths, dtype=float)
     platform = Platform.from_speeds([1.0] * n, bw)
     return Mapping(app, platform, teams=[list(range(u)), list(range(u, n))])
+
+
+def _paper_system(**kwargs) -> Mapping:
+    # Lazy: repro.experiments imports this module, so the fig10 fixture
+    # can only be reached at call time without closing an import cycle.
+    from repro.experiments.fig10 import paper_system
+
+    return paper_system(**kwargs)
+
+
+#: Named example systems, shared by the CLI (``solve <system>``) and the
+#: campaign spec builder (``SystemSpec(kind="named", ...)``).
+NAMED_SYSTEMS: dict[str, object] = {
+    "example_a": example_a,
+    "example_c": example_c,
+    "paper": _paper_system,
+}
+
+
+def named_system(name: str, **params) -> Mapping:
+    """Build one of the :data:`NAMED_SYSTEMS` fixtures by name.
+
+    ``params`` are forwarded to the fixture's builder (e.g. ``work`` /
+    ``file_size`` for ``example_c`` and ``paper``).
+    """
+    try:
+        builder = NAMED_SYSTEMS[name]
+    except KeyError:
+        known = ", ".join(sorted(NAMED_SYSTEMS))
+        raise InvalidMappingError(
+            f"unknown named system {name!r}; available: {known}"
+        ) from None
+    return builder(**params)

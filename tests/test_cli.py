@@ -1,0 +1,236 @@
+"""Smoke tests for the command-line driver (`python -m repro.cli`).
+
+Every subcommand is exercised through ``main(argv)``, asserting exit
+codes and — for the campaign family — the files it leaves behind.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign import get_preset
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_experiments_and_presets(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out
+        assert "campaign presets" in out
+        assert "smoke" in out
+
+
+class TestSolve:
+    def test_deterministic(self, capsys):
+        assert main(["solve", "example_a", "--solver", "deterministic"]) == 0
+        assert "throughput" in capsys.readouterr().out
+
+    def test_bounds(self, capsys):
+        assert main(["solve", "example_a", "--solver", "bounds"]) == 0
+        out = capsys.readouterr().out
+        assert "lower (exp)" in out and "upper (cst)" in out
+
+    def test_unknown_system_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["solve", "atlantis"])
+        assert exc.value.code == 2
+
+
+class TestSearch:
+    def test_small_search(self, capsys):
+        assert main(
+            ["search", "--stages", "2", "--processors", "3",
+             "--restarts", "1", "--seed", "0"]
+        ) == 0
+        assert "best" in capsys.readouterr().out
+
+
+class TestBenchGuard:
+    def test_refuses_existing_output_without_force(self, tmp_path):
+        target = tmp_path / "BENCH.json"
+        target.write_text("{}\n")
+        with pytest.raises(SystemExit) as exc:
+            main(["bench", "--quick", "--output", str(target)])
+        assert exc.value.code == 2
+
+
+class TestCampaign:
+    def test_run_status_report_resume(self, tmp_path, capsys):
+        store = tmp_path / "campaign.jsonl"
+
+        # status before any run: everything remaining, exit code 1.
+        assert main(
+            ["campaign", "status", "--preset", "smoke", "--store", str(store)]
+        ) == 1
+        capsys.readouterr()
+
+        assert main(
+            ["campaign", "run", "--preset", "smoke", "--store", str(store)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "executed   : 4" in out
+        assert store.exists()
+        assert len(store.read_text().splitlines()) == 4
+
+        # complete: status exits 0.
+        assert main(
+            ["campaign", "status", "--preset", "smoke", "--store", str(store)]
+        ) == 0
+        assert "remaining  : 0" in capsys.readouterr().out
+
+        # re-run without --resume is refused with exit code 2.
+        with pytest.raises(SystemExit) as exc:
+            main(["campaign", "run", "--preset", "smoke", "--store", str(store)])
+        assert exc.value.code == 2
+        capsys.readouterr()
+
+        # --resume executes nothing.
+        assert main(
+            ["campaign", "run", "--preset", "smoke", "--store", str(store),
+             "--resume"]
+        ) == 0
+        assert "executed   : 0" in capsys.readouterr().out
+
+        # report renders a table and writes the JSON dump.
+        report_json = tmp_path / "report.json"
+        assert main(
+            ["campaign", "report", "--store", str(store),
+             "--json", str(report_json)]
+        ) == 0
+        assert "smoke/pattern" in capsys.readouterr().out
+        payload = json.loads(report_json.read_text())
+        assert payload[0]["name"] == "smoke/pattern"
+        assert len(payload[0]["rows"]) == 4
+
+    def test_report_json_stdout_is_pure_json(self, tmp_path, capsys):
+        store = tmp_path / "c.jsonl"
+        assert main(
+            ["campaign", "run", "--preset", "smoke", "--store", str(store)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["campaign", "report", "--store", str(store), "--json", "-"]
+        ) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out)  # nothing but JSON on stdout
+        assert payload[0]["name"] == "smoke/pattern"
+
+    def test_run_from_spec_file(self, tmp_path, capsys):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(get_preset("smoke").to_json())
+        store = tmp_path / "from_file.jsonl"
+        assert main(
+            ["campaign", "run", "--spec", str(spec_file),
+             "--store", str(store), "--n-jobs", "2"]
+        ) == 0
+        assert "executed   : 4" in capsys.readouterr().out
+        assert len(store.read_text().splitlines()) == 4
+
+    def test_requires_exactly_one_of_preset_or_spec(self, tmp_path):
+        store = str(tmp_path / "s.jsonl")
+        with pytest.raises(SystemExit) as exc:
+            main(["campaign", "run", "--store", store])
+        assert exc.value.code == 2
+        with pytest.raises(SystemExit) as exc:
+            main(
+                ["campaign", "run", "--preset", "smoke", "--spec", "x.json",
+                 "--store", store]
+            )
+        assert exc.value.code == 2
+
+    def test_bad_spec_file_exits_2(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(SystemExit) as exc:
+            main(
+                ["campaign", "run", "--spec", str(bad),
+                 "--store", str(tmp_path / "s.jsonl")]
+            )
+        assert exc.value.code == 2
+
+    def test_report_on_empty_store(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        out_json = tmp_path / "empty_report.json"
+        assert main(
+            ["campaign", "report", "--store", str(empty),
+             "--json", str(out_json)]
+        ) == 0
+        assert "no campaign results" in capsys.readouterr().out
+        # The JSON artifact exists even for an empty store.
+        assert json.loads(out_json.read_text()) == []
+
+    def test_report_on_missing_store_exits_2(self, tmp_path):
+        # A nonexistent path can only be a typo for `report`.
+        with pytest.raises(SystemExit) as exc:
+            main(
+                ["campaign", "report",
+                 "--store", str(tmp_path / "nothing.jsonl")]
+            )
+        assert exc.value.code == 2
+
+    def test_store_path_is_directory_exits_2(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["campaign", "report", "--store", str(tmp_path)])
+        assert exc.value.code == 2
+
+    def test_invalid_n_jobs_exits_2(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(
+                ["campaign", "run", "--preset", "smoke",
+                 "--store", str(tmp_path / "s.jsonl"), "--n-jobs", "0"]
+            )
+        assert exc.value.code == 2
+
+    def test_unknown_named_system_in_spec_exits_2(self, tmp_path):
+        from repro.campaign import get_preset
+
+        data = get_preset("smoke").to_dict()
+        data["scenarios"][0]["system"] = {
+            "kind": "named", "params": {"name": "atlantis"},
+        }
+        bad = tmp_path / "bad_system.json"
+        bad.write_text(json.dumps(data))
+        with pytest.raises(SystemExit) as exc:
+            main(
+                ["campaign", "run", "--spec", str(bad),
+                 "--store", str(tmp_path / "s.jsonl")]
+            )
+        assert exc.value.code == 2
+
+    def test_seed_override_changes_simulation_values(self, tmp_path):
+        spec_file = tmp_path / "sim.json"
+        from repro.campaign import CampaignSpec, ScenarioSpec, SystemSpec
+
+        spec = CampaignSpec(
+            name="sim",
+            seed=1,
+            scenarios=[
+                ScenarioSpec(
+                    name="sim/one",
+                    system=SystemSpec(
+                        "uniform_chain", {"replication": [1, 2], "work": 1.0}
+                    ),
+                    solver="simulation",
+                    options={"n_datasets": 30},
+                ),
+            ],
+        )
+        spec_file.write_text(spec.to_json())
+        s1, s2 = tmp_path / "s1.jsonl", tmp_path / "s2.jsonl"
+        assert main(
+            ["campaign", "run", "--spec", str(spec_file), "--store", str(s1)]
+        ) == 0
+        assert main(
+            ["campaign", "run", "--spec", str(spec_file), "--store", str(s2),
+             "--seed", "99"]
+        ) == 0
+        (r1,) = [json.loads(line) for line in s1.read_text().splitlines()]
+        (r2,) = [json.loads(line) for line in s2.read_text().splitlines()]
+        # Stochastic units are seed-keyed: a different base seed is a
+        # different unit (so stores from different seeds never conflate).
+        assert r1["fingerprint"] != r2["fingerprint"]
+        assert r1["seed"] != r2["seed"]

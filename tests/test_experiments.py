@@ -39,6 +39,52 @@ class TestCommon:
         r.add(a=2)
         assert r.column("a") == [1, 2]
 
+    def test_dict_round_trip(self):
+        import json
+
+        r = ExperimentResult("x", "demo", columns=["a", "b"])
+        r.add(a=1, b=2.5)
+        r.add(a=3, b=-1.0)
+        r.notes.append("hello")
+        again = ExperimentResult.from_dict(json.loads(json.dumps(r.to_dict())))
+        assert again == r
+        assert again.render() == r.render()
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="bogus"):
+            ExperimentResult.from_dict(
+                {"name": "x", "description": "d", "columns": [], "bogus": 1}
+            )
+
+    def test_from_dict_rejects_missing_keys(self):
+        with pytest.raises(ValueError, match="columns"):
+            ExperimentResult.from_dict({"name": "x", "description": "d"})
+
+
+class TestRegistry:
+    def test_names_and_lookup(self):
+        from repro.experiments import (
+            experiment_description,
+            experiment_names,
+            get_experiment,
+        )
+
+        names = experiment_names()
+        assert "fig10" in names and "table1" in names
+        assert set(names) == set(ALL_EXPERIMENTS)
+        assert get_experiment("fig10") is fig10
+        assert experiment_description("fig10").startswith("Figure 10")
+        with pytest.raises(KeyError, match="unknown experiment"):
+            get_experiment("fig99")
+
+    def test_register_requires_run(self):
+        import types
+
+        from repro.experiments import register_experiment
+
+        with pytest.raises(TypeError, match="run"):
+            register_experiment("broken", types.ModuleType("broken"))
+
 
 class TestTable1:
     def test_scaled_run_shape(self):
