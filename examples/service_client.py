@@ -1,0 +1,97 @@
+"""Round-trip demo of the evaluation service (`repro.service`).
+
+Embeds a server on a background thread (the same code path
+``python -m repro.cli serve`` runs), then talks to it over a real
+loopback socket with :class:`repro.service.ServiceClient`:
+
+1. ``ping`` — version + live counters;
+2. single ``evaluate`` / named-system ``solve`` requests;
+3. a campaign-unit batch (the ``smoke`` preset), submitted twice —
+   the second pass is answered entirely from cache (0 evaluator runs);
+4. a simulated *restart*: a brand-new server on the same tier-2 disk
+   cache still answers with 0 evaluator runs;
+5. a poisoned request, which comes back as a structured failure record
+   while the service keeps running.
+
+Run with::
+
+    PYTHONPATH=src python examples/service_client.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.campaign import expand, get_preset, unit_task_payload
+from repro.service import (
+    DiskScoreCache,
+    EvaluationEngine,
+    ServiceClient,
+    serve_in_thread,
+)
+
+
+def start_server(cache_path: Path):
+    engine = EvaluationEngine(disk=DiskScoreCache(cache_path), max_entries=1024)
+    server, thread = serve_in_thread(engine)
+    return engine, server, thread
+
+
+def stop_server(engine, server, thread) -> None:
+    server.shutdown()
+    server.server_close()
+    engine.close()
+    thread.join(timeout=5)
+
+
+def main() -> None:
+    tasks = [unit_task_payload(u) for u in expand(get_preset("smoke"))]
+    with tempfile.TemporaryDirectory() as td:
+        cache_path = Path(td) / "service_scores.jsonl"
+
+        engine, server, thread = start_server(cache_path)
+        host, port = server.endpoint
+        print(f"server listening on {host}:{port}")
+        with ServiceClient(host, port) as client:
+            info = client.ping()
+            print(f"ping: version {info['version']}")
+
+            rho = client.solve("example_a", solver="deterministic")
+            print(f"solve example_a (deterministic): {rho:.6g}")
+
+            values, failures, stats = client.evaluate_batch(tasks)
+            print(
+                f"smoke batch #1: values={values} "
+                f"(executed={stats['executed']})"
+            )
+            _values, _failures, stats = client.evaluate_batch(tasks)
+            print(
+                f"smoke batch #2: executed={stats['executed']}, "
+                f"disk hits={stats['disk_hits']}, "
+                f"memo hits={stats['memo_hits']}"
+            )
+
+            # One poisoned request never kills the daemon.
+            poison = {
+                "system": {"kind": "named", "params": {"name": "atlantis"}},
+                "solver": "deterministic",
+            }
+            _vals, failures, _stats = client.evaluate_batch([poison])
+            print(f"poisoned request -> failure record: {failures[0]}")
+            print(f"server still alive: {bool(client.ping()['version'])}")
+        stop_server(engine, server, thread)
+
+        # A *restarted* server on the same disk cache: still 0 runs.
+        engine, server, thread = start_server(cache_path)
+        with ServiceClient(*server.endpoint) as client:
+            _values, _failures, stats = client.evaluate_batch(tasks)
+            print(
+                f"after restart: executed={stats['executed']}, "
+                f"disk hits={stats['disk_hits']}"
+            )
+        stop_server(engine, server, thread)
+
+
+if __name__ == "__main__":
+    main()

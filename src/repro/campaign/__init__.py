@@ -29,6 +29,7 @@ from repro.campaign.runner import (
     campaign_status,
     run_campaign,
     unit_record,
+    unit_task_payload,
 )
 from repro.campaign.spec import CampaignSpec, ScenarioSpec, SystemSpec
 from repro.campaign.store import ResultStore
@@ -44,6 +45,7 @@ __all__ = [
     "ResultStore",
     "run_campaign",
     "unit_record",
+    "unit_task_payload",
     "campaign_status",
     "campaign_report",
     "CampaignRunSummary",

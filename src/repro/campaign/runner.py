@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.campaign.grid import RunUnit, expand
 from repro.campaign.spec import CampaignSpec
@@ -31,8 +32,11 @@ from repro.campaign.store import ResultStore
 from repro.evaluate.batch import evaluate_tasks
 from repro.evaluate.cache import StructureCache
 from repro.evaluate.solvers import get_solver
-from repro.exceptions import CampaignError
+from repro.exceptions import CampaignError, ServiceError
 from repro.experiments.common import ExperimentResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.client import ServiceClient
 
 
 def unit_record(unit: RunUnit, value: float) -> dict:
@@ -58,6 +62,22 @@ def unit_record(unit: RunUnit, value: float) -> dict:
     if "seed" in unit.options:
         record["seed"] = unit.options["seed"]
     return record
+
+
+def unit_task_payload(unit: RunUnit) -> dict:
+    """The wire-format task dict of one unit (the service protocol shape).
+
+    Exactly the data :func:`repro.service.workers.normalize_task` builds
+    a solver and mapping back from — so a unit executed through a
+    running service resolves to the very same computation as the local
+    :func:`_unit_task` path, and the stores stay byte-identical.
+    """
+    return {
+        "system": unit.system.to_dict(),
+        "solver": unit.solver,
+        "model": unit.model,
+        "options": dict(unit.options),
+    }
 
 
 @dataclass
@@ -90,6 +110,7 @@ def run_campaign(
     n_jobs: int = 1,
     resume: bool = False,
     cache: StructureCache | None = None,
+    client: "ServiceClient | None" = None,
 ) -> CampaignRunSummary:
     """Execute every pending unit of ``spec`` into ``store``.
 
@@ -97,6 +118,15 @@ def run_campaign(
     ``bench --force`` overwrite guard): resuming skips every unit whose
     fingerprint the store already holds and executes only the rest, so
     a completed campaign re-runs as a no-op.
+
+    With a ``client`` (``campaign run --via-service``), chunks are
+    scored by a running :mod:`repro.service` daemon instead of this
+    process — same solvers, same pure functions, so the store's bytes
+    are identical, but the daemon's warm caches (and its tier-2 disk
+    cache) carry across campaigns and process restarts. Units travel in
+    chunks of at least 16 (one round trip and one crash-loss bound per
+    chunk, batches big enough for the server's pool to fan out); worker
+    fan-out belongs to the server, not this process's ``n_jobs``.
     """
     units = expand(spec)
     if len(store) and not resume:
@@ -134,6 +164,7 @@ def run_campaign(
     executed = 0
     # One worker pool serves every chunk of the whole campaign — created
     # lazily, so a fully-resumed run (0 pending units) never spawns it.
+    # Via a service client, no pool: fan-out is the server's business.
     pool: ProcessPoolExecutor | None = None
     try:
         for pending in prepared:
@@ -141,18 +172,27 @@ def run_campaign(
             # runs persist after every unit, parallel runs after every
             # chunk (sized to amortize dispatch). Chunks run in
             # deterministic order and the cache memo dedups across them,
-            # so chunking never changes the store's bytes.
-            chunk_size = 1 if n_jobs == 1 else 4 * n_jobs
-            if n_jobs > 1 and pool is None:
+            # so chunking never changes the store's bytes. Service
+            # chunks are sized for the *server* (one round trip per
+            # chunk, batches big enough for its pool to fan out), not
+            # for this process's n_jobs.
+            if client is not None:
+                chunk_size = max(16, 4 * n_jobs)
+            else:
+                chunk_size = 1 if n_jobs == 1 else 4 * n_jobs
+            if n_jobs > 1 and client is None and pool is None:
                 pool = ProcessPoolExecutor(max_workers=n_jobs)
             for start in range(0, len(pending), chunk_size):
                 chunk = pending[start:start + chunk_size]
-                values = evaluate_tasks(
-                    [_unit_task(u) for u in chunk],
-                    cache=cache,
-                    n_jobs=n_jobs,
-                    pool=pool,
-                )
+                if client is not None:
+                    values = _run_chunk_via_service(chunk, client)
+                else:
+                    values = evaluate_tasks(
+                        [_unit_task(u) for u in chunk],
+                        cache=cache,
+                        n_jobs=n_jobs,
+                        pool=pool,
+                    )
                 for unit, value in zip(chunk, values):
                     store.append(unit_record(unit, value))
                     executed += 1
@@ -167,6 +207,36 @@ def run_campaign(
         skipped=skipped,
         scenarios=[s.name for s in spec.scenarios],
     )
+
+
+def _run_chunk_via_service(
+    chunk: list[RunUnit], client: "ServiceClient"
+) -> list[float]:
+    """Score one chunk through a running service; failures abort the run.
+
+    The store only ever holds completed scores, so a unit the service
+    could not evaluate (or a dead server) surfaces as
+    :class:`CampaignError` — everything already appended resumes
+    cleanly, exactly like a local crash.
+    """
+    try:
+        values, failures, _stats = client.evaluate_batch(
+            [unit_task_payload(u) for u in chunk]
+        )
+    except ServiceError as exc:
+        raise CampaignError(f"service execution failed: {exc}") from None
+    if failures:
+        first = failures[0]
+        unit = chunk[first.get("index", 0)]
+        raise CampaignError(
+            f"service failed {len(failures)} unit(s); first: scenario "
+            f"{unit.scenario!r} ({first.get('error')}: {first.get('message')})"
+        )
+    if len(values) != len(chunk):
+        raise CampaignError(
+            f"service returned {len(values)} value(s) for {len(chunk)} unit(s)"
+        )
+    return values
 
 
 def _unit_task(unit: RunUnit) -> tuple:

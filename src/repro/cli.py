@@ -1,4 +1,4 @@
-"""Command-line driver for the experiments, solvers and campaigns.
+"""Command-line driver for the experiments, solvers, campaigns and service.
 
 Usage::
 
@@ -10,9 +10,20 @@ Usage::
     python -m repro.cli campaign run --preset smoke --store campaign.jsonl
     python -m repro.cli campaign run --spec my_campaign.json --store c.jsonl \
         --n-jobs 4 --resume
+    python -m repro.cli campaign run --preset fig13 --store f13.jsonl \
+        --via-service 127.0.0.1:7781
     python -m repro.cli campaign status --preset smoke --store campaign.jsonl
     python -m repro.cli campaign report --store campaign.jsonl
-    python -m repro.cli bench --quick --output BENCH_PR3.json
+    python -m repro.cli serve --port 7781 --cache service_cache.jsonl
+    python -m repro.cli submit --port 7781 --preset smoke
+    python -m repro.cli ping --port 7781
+    python -m repro.cli shutdown --port 7781
+    python -m repro.cli bench --quick --output BENCH_PR4.json
+
+Exit-code contract of the service probes (for CI and operators):
+``ping`` exits 0 when a server answers on the endpoint and 1 when none
+does; ``submit`` exits 0 when every unit scored and 1 when any failed;
+``shutdown`` exits 0 once the server acknowledged, 1 if unreachable.
 """
 
 from __future__ import annotations
@@ -118,6 +129,200 @@ def _cmd_search(args, parser) -> int:
     return 0
 
 
+#: Units per `submit` protocol frame — far below the 32 MB frame
+#: ceiling whatever the spec size.
+_SUBMIT_CHUNK = 256
+
+
+def _cmd_serve(args, parser) -> int:
+    from repro.service import DiskScoreCache, EvaluationEngine, ServiceServer
+
+    if args.n_jobs < 1:
+        parser.error("--n-jobs must be >= 1")
+    if args.max_entries is not None and args.max_entries < 1:
+        parser.error("--max-entries must be >= 1")
+    disk = None
+    if args.cache:
+        from repro.exceptions import CampaignError
+
+        try:
+            disk = DiskScoreCache(args.cache)
+        except (CampaignError, OSError) as exc:
+            parser.error(str(exc))
+    engine = EvaluationEngine(
+        n_jobs=args.n_jobs, disk=disk, max_entries=args.max_entries
+    )
+    try:
+        server = ServiceServer(engine, host=args.host, port=args.port)
+    except OSError as exc:
+        parser.error(f"cannot bind {args.host}:{args.port}: {exc}")
+    host, port = server.endpoint
+    if args.ready_file:
+        server.write_ready_file(args.ready_file)
+    print(f"serving    : {host}:{port}")
+    print(f"cache      : {args.cache or '(memory only)'}")
+    print(f"n-jobs     : {args.n_jobs}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        server.server_close()
+        # A shutdown from one client must not discard another client's
+        # mid-evaluation batch: dispatched requests finish and reply
+        # before the process exits (idle connections don't block it).
+        server.wait_for_inflight(timeout=600.0)
+        engine.close()
+    print("stopped")
+    return 0
+
+
+def _service_client(args):
+    from repro.service import ServiceClient
+
+    return ServiceClient(args.host, args.port, timeout=args.timeout)
+
+
+def _cmd_ping(args, parser) -> int:
+    from repro.exceptions import ServiceError
+
+    try:
+        with _service_client(args) as client:
+            reply = client.ping()
+    except ServiceError as exc:
+        print(f"ping failed: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        # Pure-JSON mode: nothing else on stdout, pipeable to jq.
+        print(
+            json.dumps(
+                {"version": reply["version"], "counters": reply["counters"]},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    print(f"service    : {args.host}:{args.port}")
+    print(f"version    : {reply['version']}")
+    counters = reply["counters"]
+    totals = counters["requests"]
+    cache = counters["structure_cache"]
+    queue = counters["queue"]
+    print(
+        f"requests   : {totals['batches']} batches, {totals['units']} units, "
+        f"{totals['failures']} failures"
+    )
+    print(
+        f"evaluator  : {totals['executed']} runs, "
+        f"{totals['disk_hits']} disk hits, {totals['memo_hits']} memo hits, "
+        f"{queue['coalesced']} coalesced"
+    )
+    print(
+        f"memo       : {cache['hits']} hits / {cache['misses']} misses, "
+        f"{cache['evictions']} evictions "
+        f"({cache['scores']} scores, {cache['nets']} nets, "
+        f"{cache['reachability']} reach)"
+    )
+    disk = counters.get("disk_cache")
+    if disk:
+        print(
+            f"disk cache : {disk['entries']} entries, {disk['hits']} hits, "
+            f"{disk['dropped_lines']} dropped lines"
+        )
+    return 0
+
+
+def _cmd_submit(args, parser) -> int:
+    from repro.campaign import expand, unit_task_payload
+    from repro.exceptions import ServiceError
+
+    single = bool(args.system)
+    if single == bool(args.preset or args.spec):
+        parser.error("pass either --system or one of --preset/--spec")
+    if single and args.seed is not None:
+        # A seed overrides a campaign spec's base seed; a bare system
+        # has none to override — refusing beats silently ignoring it.
+        parser.error("--seed only applies to --preset/--spec submissions")
+    if not single and (args.solver is not None or args.model is not None):
+        # Symmetrically: campaign specs name their own solvers/models.
+        parser.error(
+            "--solver/--model only apply to --system submissions; "
+            "a campaign spec carries its own"
+        )
+    if single:
+        tasks = [
+            {
+                "system": {
+                    "kind": "named", "params": {"name": args.system},
+                },
+                "solver": args.solver or "deterministic",
+                "model": args.model or "overlap",
+                "options": {},
+            }
+        ]
+        labels = [args.system]
+    else:
+        spec = _load_campaign_spec(args, parser)
+        units = expand(spec)
+        tasks = [unit_task_payload(u) for u in units]
+        labels = [
+            f"{u.scenario} "
+            + " ".join(f"{k}={v}" for k, v in sorted(u.params.items()))
+            for u in units
+        ]
+    # Chunked like the --via-service runner, so an arbitrarily large
+    # spec never hits the protocol's per-frame ceiling.
+    chunk_size = _SUBMIT_CHUNK
+    values: list = []
+    failures: list[dict] = []
+    stats: dict = {}
+    try:
+        with _service_client(args) as client:
+            for start in range(0, len(tasks), chunk_size):
+                vals, fails, chunk_stats = client.evaluate_batch(
+                    tasks[start:start + chunk_size]
+                )
+                values.extend(vals)
+                failures.extend(
+                    {**f, "index": f.get("index", 0) + start} for f in fails
+                )
+                for key, count in chunk_stats.items():
+                    stats[key] = stats.get(key, 0) + count
+    except ServiceError as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 1
+    failed = {f["index"]: f for f in failures}
+    print(f"service    : {args.host}:{args.port}")
+    print(f"units      : {stats.get('units', len(tasks))}")
+    print(f"executed   : {stats.get('executed', 0)}")
+    print(
+        f"cache hits : {stats.get('disk_hits', 0) + stats.get('memo_hits', 0)} "
+        f"({stats.get('disk_hits', 0)} disk + {stats.get('memo_hits', 0)} memo)"
+    )
+    print(f"coalesced  : {stats.get('coalesced', 0)}")
+    print(f"failures   : {len(failures)}")
+    for i, (label, value) in enumerate(zip(labels, values)):
+        if i in failed:
+            f = failed[i]
+            print(f"  {label} : FAILED ({f.get('error')}: {f.get('message')})")
+        else:
+            print(f"  {label} : {value:.6g}")
+    return 1 if failures else 0
+
+
+def _cmd_shutdown(args, parser) -> int:
+    from repro.exceptions import ServiceError
+
+    try:
+        with _service_client(args) as client:
+            client.shutdown()
+    except ServiceError as exc:
+        print(f"shutdown failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"service at {args.host}:{args.port} stopped")
+    return 0
+
+
 def _load_campaign_spec(args, parser):
     """Resolve --preset / --spec (exactly one) into a CampaignSpec."""
     from repro.campaign import CampaignSpec, get_preset
@@ -201,22 +406,39 @@ def _cmd_campaign(args, parser) -> int:
     # campaign run
     if args.n_jobs < 1:
         parser.error("--n-jobs must be >= 1")
+    client = None
+    if args.via_service:
+        from repro.exceptions import ServiceError
+        from repro.service import ServiceClient, parse_endpoint
+
+        try:
+            host, port = parse_endpoint(args.via_service)
+        except ServiceError as exc:
+            parser.error(str(exc))
+        client = ServiceClient(host, port, timeout=args.service_timeout)
     try:
         summary = run_campaign(
-            spec, store, n_jobs=args.n_jobs, resume=args.resume
+            spec, store, n_jobs=args.n_jobs, resume=args.resume, client=client
         )
     except CampaignError as exc:
         parser.error(str(exc))
+    finally:
+        if client is not None:
+            client.close()
     print(summary.render())
     return 0
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro._version import __version__
     from repro.experiments import experiment_names
 
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Reproduce the tables and figures of the paper (Section 7).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments and campaign presets")
@@ -322,6 +544,17 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="continue a populated store, skipping completed units",
     )
+    crun.add_argument(
+        "--via-service", default=None, metavar="HOST:PORT",
+        help="score units through a running evaluation service "
+        "(repro.cli serve) instead of this process; the store stays "
+        "byte-identical",
+    )
+    crun.add_argument(
+        "--service-timeout", type=float, default=10.0,
+        help="connect timeout for --via-service in seconds; established "
+        "chunks wait however long evaluation takes (default: %(default)s)",
+    )
     creport.add_argument(
         "--campaign", default=None,
         help="only report records of this campaign name",
@@ -329,6 +562,90 @@ def main(argv: list[str] | None = None) -> int:
     creport.add_argument(
         "--json", default=None, metavar="FILE",
         help="also dump the report tables as JSON ('-' for stdout)",
+    )
+
+    from repro.service.protocol import DEFAULT_HOST, DEFAULT_PORT
+
+    servep = sub.add_parser(
+        "serve",
+        help="run the evaluation service until a shutdown request arrives",
+    )
+    servep.add_argument("--host", default=DEFAULT_HOST)
+    servep.add_argument(
+        "--port", type=int, default=DEFAULT_PORT,
+        help="TCP port to bind (0 picks an ephemeral one; default: "
+        "%(default)s)",
+    )
+    servep.add_argument(
+        "--cache", default=None, metavar="FILE",
+        help="tier-2 persistent score cache (JSONL); restartable servers "
+        "answer repeat queries from it without recomputation",
+    )
+    servep.add_argument(
+        "--n-jobs", type=int, default=1,
+        help="persistent worker processes for batch fan-out "
+        "(default: serial)",
+    )
+    servep.add_argument(
+        "--max-entries", type=int, default=None,
+        help="LRU bound per structure-cache map (default: unbounded)",
+    )
+    servep.add_argument(
+        "--ready-file", default=None, metavar="FILE",
+        help="write {host, port, pid} JSON here once listening "
+        "(for scripts that launched the server in the background)",
+    )
+
+    pingp = sub.add_parser(
+        "ping",
+        help="probe a running service (exit 0: alive, 1: unreachable)",
+    )
+    submitp = sub.add_parser(
+        "submit",
+        help="submit work to a running service "
+        "(exit 0: all scored, 1: any failure)",
+    )
+    shutdownp = sub.add_parser(
+        "shutdown", help="stop a running service cleanly"
+    )
+    for sp in (pingp, submitp, shutdownp):
+        sp.add_argument("--host", default=DEFAULT_HOST)
+        sp.add_argument("--port", type=int, default=DEFAULT_PORT)
+        sp.add_argument(
+            "--timeout", type=float, default=10.0,
+            help="connect timeout in seconds; established requests wait "
+            "for the server however long the batch takes "
+            "(default: %(default)s)",
+        )
+    pingp.add_argument(
+        "--json", action="store_true",
+        help="dump the raw counter block as JSON",
+    )
+    submitp.add_argument(
+        "--preset",
+        choices=available_presets(),
+        help="submit every unit of a ready-made campaign",
+    )
+    submitp.add_argument(
+        "--spec", help="path of a campaign spec JSON file", metavar="FILE"
+    )
+    submitp.add_argument(
+        "--seed", type=int, default=None,
+        help="override the spec's base seed",
+    )
+    submitp.add_argument(
+        "--system", choices=_system_choices(),
+        help="submit one named example system instead of a campaign",
+    )
+    submitp.add_argument(
+        "--solver",
+        choices=available_solvers(),
+        default=None,
+        help="solver for --system (default: deterministic)",
+    )
+    submitp.add_argument(
+        "--model", choices=("overlap", "strict"), default=None,
+        help="model for --system (default: overlap)",
     )
 
     benchp = sub.add_parser(
@@ -364,6 +681,14 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_search(args, parser)
     if args.command == "campaign":
         return _cmd_campaign(args, parser)
+    if args.command == "serve":
+        return _cmd_serve(args, parser)
+    if args.command == "ping":
+        return _cmd_ping(args, parser)
+    if args.command == "submit":
+        return _cmd_submit(args, parser)
+    if args.command == "shutdown":
+        return _cmd_shutdown(args, parser)
 
     if args.command == "bench":
         from repro.bench import render_report, run_benchmarks, write_report

@@ -17,6 +17,7 @@ heuristics all delegate here; new backends only need ``@register_solver``.
 """
 
 from repro.evaluate.batch import (
+    TaskFailure,
     evaluate,
     evaluate_many,
     evaluate_tasks,
@@ -46,6 +47,7 @@ __all__ = [
     "evaluate_many",
     "evaluate_tasks",
     "resolve_solver",
+    "TaskFailure",
     "StructureCache",
     "mapping_fingerprint",
     "structure_fingerprint",

@@ -10,6 +10,12 @@ process pool with the same fan-out discipline as
 :func:`repro.sim.runner.replicate` — work is dispatched in stream order
 and folded back by index, so ``n_jobs > 1`` is bit-identical to the
 serial loop.
+
+:func:`evaluate_tasks` additionally accepts ``on_error="record"``: a
+task that raises (bad solver configuration, a state-space limit, a
+numerical failure) yields a :class:`TaskFailure` record in its result
+slot instead of aborting the whole batch — the mode a long-lived
+evaluation service needs to survive one poisoned request.
 """
 
 from __future__ import annotations
@@ -27,6 +33,26 @@ from repro.types import ExecutionModel
 
 #: One unit of batched work: a ready solver, a mapping, a coerced model.
 Task = tuple[ThroughputSolver, Mapping, ExecutionModel]
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskFailure:
+    """Structured record of one failed task in an ``on_error="record"`` batch.
+
+    Carries the exception class name and message, never the exception
+    object itself — failures must survive a trip through a worker
+    process, a JSON protocol frame, or a result log unchanged.
+    """
+
+    error: str
+    message: str
+
+    def to_dict(self) -> dict:
+        return {"error": self.error, "message": self.message}
+
+    @classmethod
+    def of(cls, exc: BaseException) -> "TaskFailure":
+        return cls(error=type(exc).__name__, message=str(exc))
 
 
 def resolve_solver(solver: ThroughputSolver | str, options: dict) -> ThroughputSolver:
@@ -78,6 +104,19 @@ def _solve_payload(payload: tuple) -> float:
     return solver.solve(mapping, ExecutionModel(model_value))
 
 
+def _solve_payload_record(payload: tuple) -> tuple:
+    """Worker-side solve that tags failures instead of raising.
+
+    Returns ``("ok", value)`` or ``("err", class_name, message)`` — plain
+    tuples, so a failure crosses the process boundary even when the
+    exception object itself would not pickle.
+    """
+    try:
+        return ("ok", _solve_payload(payload))
+    except Exception as exc:
+        return ("err", type(exc).__name__, str(exc))
+
+
 def evaluate_many(
     mappings: Iterable[Mapping],
     *,
@@ -85,6 +124,7 @@ def evaluate_many(
     model: ExecutionModel | str = "overlap",
     cache: StructureCache | None = None,
     n_jobs: int = 1,
+    pool: ProcessPoolExecutor | None = None,
     **options,
 ) -> list[float]:
     """Score a batch of candidate mappings, deduplicated and parallel.
@@ -99,7 +139,10 @@ def evaluate_many(
     Solvers are pure functions of ``(mapping, model)`` (the simulation
     solver derives its stream from the candidate fingerprint, not from
     evaluation order), and results are folded back in submission order,
-    so the output is bit-identical to the serial loop.
+    so the output is bit-identical to the serial loop. A caller scoring
+    many batches (a search loop, a resident service) can pass its own
+    ``pool`` to amortize one executor across all of them; it is ignored
+    when ``n_jobs == 1`` and never shut down here.
     """
     s = resolve_solver(solver, options)
     model = ExecutionModel.coerce(model)
@@ -109,8 +152,8 @@ def evaluate_many(
         cache = StructureCache()
     tasks: list[Task] = [(s, mapping, model) for mapping in mappings]
     if not cache.enabled:
-        return _run_uncached(tasks, cache, n_jobs)
-    return _evaluate_batch(tasks, cache, n_jobs)
+        return _run_uncached(tasks, cache, n_jobs, pool=pool)
+    return _evaluate_batch(tasks, cache, n_jobs, pool=pool)
 
 
 def evaluate_tasks(
@@ -119,7 +162,8 @@ def evaluate_tasks(
     cache: StructureCache | None = None,
     n_jobs: int = 1,
     pool: ProcessPoolExecutor | None = None,
-) -> list[float]:
+    on_error: str = "raise",
+) -> list[float | TaskFailure]:
     """Score a heterogeneous batch where every task brings its own solver.
 
     Each task is a ``(solver, mapping, model)`` triple — a ready solver
@@ -139,18 +183,45 @@ def evaluate_tasks(
     crash-safe chunks) amortize one executor across all of them instead
     of spawning workers per call; it is ignored when ``n_jobs == 1`` and
     never shut down here.
+
+    ``on_error="record"`` turns any per-task exception — at solver
+    resolution or at solve time — into a :class:`TaskFailure` in that
+    task's result slot, leaving the rest of the batch intact. Failures
+    are never memoized (a retried request recomputes), and duplicates of
+    a failed task share the leader's failure record without counting as
+    cache hits. The default ``"raise"`` keeps the historical fail-fast
+    contract.
     """
-    norm: list[Task] = [
-        (resolve_solver(solver, {}), mapping, ExecutionModel.coerce(model))
-        for solver, mapping, model in tasks
-    ]
+    if on_error not in ("raise", "record"):
+        raise ValueError("on_error must be 'raise' or 'record'")
+    record = on_error == "record"
+    seq = list(tasks)
+    # Per-task resolution failures (unknown solver name, a mapping whose
+    # model coercion fails) are recorded against their slot, so one
+    # malformed task cannot poison the batch.
+    pre: dict[int, TaskFailure] = {}
+    norm: list[Task] = []
+    for i, (solver, mapping, model) in enumerate(seq):
+        try:
+            norm.append(
+                (resolve_solver(solver, {}), mapping, ExecutionModel.coerce(model))
+            )
+        except Exception as exc:
+            if not record:
+                raise
+            pre[i] = TaskFailure.of(exc)
     if n_jobs < 1:
         raise ValueError("n_jobs must be >= 1")
     if cache is None:
         cache = StructureCache()
     if not cache.enabled:
-        return _run_uncached(norm, cache, n_jobs, pool=pool)
-    return _evaluate_batch(norm, cache, n_jobs, pool=pool)
+        values = _run_uncached(norm, cache, n_jobs, pool=pool, record=record)
+    else:
+        values = _evaluate_batch(norm, cache, n_jobs, pool=pool, record=record)
+    if not pre:
+        return values
+    healthy = iter(values)
+    return [pre[i] if i in pre else next(healthy) for i in range(len(seq))]
 
 
 def _task_options_key(memo: dict[int, tuple], solver: ThroughputSolver) -> tuple:
@@ -166,21 +237,29 @@ def _run_uncached(
     cache: StructureCache,
     n_jobs: int,
     pool: ProcessPoolExecutor | None = None,
-) -> list[float]:
+    record: bool = False,
+) -> list[float | TaskFailure]:
     """Disabled-cache semantics: every request evaluated independently.
 
     This is the pre-refactor cost model (no dedup, no memo) that the
     bench baselines measure; the disabled cache still counts misses.
     """
-    values = _run_tasks(tasks, n_jobs, pool=pool)
+    values = _run_tasks(tasks, n_jobs, pool=pool, record=record)
     opts_keys: dict[int, tuple] = {}
-    return [
-        cache.store(
-            cache.score_key(mapping, model, s.name, _task_options_key(opts_keys, s)),
-            value,
+    out: list[float | TaskFailure] = []
+    for (s, mapping, model), value in zip(tasks, values):
+        if isinstance(value, TaskFailure):
+            out.append(value)
+            continue
+        out.append(
+            cache.store(
+                cache.score_key(
+                    mapping, model, s.name, _task_options_key(opts_keys, s)
+                ),
+                value,
+            )
         )
-        for (s, mapping, model), value in zip(tasks, values)
-    ]
+    return out
 
 
 def _evaluate_batch(
@@ -188,12 +267,14 @@ def _evaluate_batch(
     cache: StructureCache,
     n_jobs: int,
     pool: ProcessPoolExecutor | None = None,
-) -> list[float]:
+    record: bool = False,
+) -> list[float | TaskFailure]:
     """Shared dedup + dispatch + fold core of the two batch APIs."""
-    results: list[float | None] = [None] * len(tasks)
+    results: list[float | TaskFailure | None] = [None] * len(tasks)
     firsts: dict[tuple, int] = {}
     keys: list[tuple] = []
     pending: list[int] = []
+    dups: list[int] = []
     opts_keys: dict[int, tuple] = {}
     for idx, (s, mapping, model) in enumerate(tasks):
         key = cache.score_key(
@@ -204,15 +285,25 @@ def _evaluate_batch(
         if cached is not None:
             results[idx] = cached
         elif key in firsts:
-            cache.hits += 1  # satisfied by the in-flight duplicate below
+            dups.append(idx)
         else:
             firsts[key] = idx
             pending.append(idx)
 
-    values = _run_tasks([tasks[i] for i in pending], n_jobs, cache=cache, pool=pool)
-    fresh: dict[tuple, float] = {}
+    values = _run_tasks(
+        [tasks[i] for i in pending], n_jobs, cache=cache, pool=pool, record=record
+    )
+    fresh: dict[tuple, float | TaskFailure] = {}
     for i, value in zip(pending, values):
-        fresh[keys[i]] = cache.store(keys[i], value)
+        if isinstance(value, TaskFailure):
+            # Never memoized: a failure is not a score, and a retried
+            # request must get a fresh chance to compute one.
+            fresh[keys[i]] = value
+        else:
+            fresh[keys[i]] = cache.store(keys[i], value)
+    for idx in dups:
+        if not isinstance(fresh[keys[idx]], TaskFailure):
+            cache.hits += 1  # satisfied by the in-flight duplicate
     for idx in range(len(tasks)):
         if results[idx] is None:
             results[idx] = fresh[keys[idx]]
@@ -224,17 +315,23 @@ def _run_tasks(
     n_jobs: int,
     cache: StructureCache | None = None,
     pool: ProcessPoolExecutor | None = None,
-) -> list[float]:
+    record: bool = False,
+) -> list[float | TaskFailure]:
     """Evaluate ``tasks`` serially or over a process pool, in order.
 
     A caller-provided ``pool`` is reused (and left running); otherwise a
     fresh executor is spawned per call. On any serialization failure the
     batch falls back to the serial loop with a :func:`_warn_serial_fallback`
     warning pointed at the public API's caller.
+
+    With ``record=True``, solve-time exceptions become :class:`TaskFailure`
+    values in their slot (worker-side ones cross the pool as tagged
+    tuples); serialization failures still fall back to the serial loop.
     """
     n_jobs = min(n_jobs, len(tasks))
     if n_jobs > 1:
         payloads = [(s, mapping, model.value) for s, mapping, model in tasks]
+        worker = _solve_payload_record if record else _solve_payload
         # Pre-flight probe: every *distinct* solver instance plus one
         # representative mapping payload. Solvers are where pickling
         # varies in a heterogeneous batch (custom backends may hold
@@ -248,13 +345,18 @@ def _run_tasks(
             chunksize = max(1, len(payloads) // (4 * n_jobs))
             try:
                 if pool is not None:
-                    return list(
-                        pool.map(_solve_payload, payloads, chunksize=chunksize)
-                    )
-                with ProcessPoolExecutor(max_workers=n_jobs) as own:
-                    return list(
-                        own.map(_solve_payload, payloads, chunksize=chunksize)
-                    )
+                    raw = list(pool.map(worker, payloads, chunksize=chunksize))
+                else:
+                    with ProcessPoolExecutor(max_workers=n_jobs) as own:
+                        raw = list(
+                            own.map(worker, payloads, chunksize=chunksize)
+                        )
+                if not record:
+                    return raw
+                return [
+                    r[1] if r[0] == "ok" else TaskFailure(error=r[1], message=r[2])
+                    for r in raw
+                ]
             except (pickle.PicklingError, TypeError, AttributeError):
                 # The probe covers solvers and the first mapping; a later
                 # unpicklable mapping surfaces here as any of these types
@@ -264,7 +366,15 @@ def _run_tasks(
                 if _picklable(payloads):
                     raise
                 _warn_serial_fallback()
-    return [s.solve(mapping, model, cache=cache) for s, mapping, model in tasks]
+    if not record:
+        return [s.solve(mapping, model, cache=cache) for s, mapping, model in tasks]
+    out: list[float | TaskFailure] = []
+    for s, mapping, model in tasks:
+        try:
+            out.append(s.solve(mapping, model, cache=cache))
+        except Exception as exc:
+            out.append(TaskFailure.of(exc))
+    return out
 
 
 def _warn_serial_fallback() -> None:

@@ -17,10 +17,17 @@ One :class:`StructureCache` instance memoizes, across any number of
 The cache is a plain in-process object: share one instance to share
 work, pass ``StructureCache(enabled=False)`` to measure the uncached
 cost (the ``repro.bench`` search workload does exactly that).
+
+A long-lived holder — the :mod:`repro.service` daemon keeps one cache
+for its whole lifetime — can bound memory with ``max_entries``: each of
+the three maps becomes an LRU of at most that many entries, and
+evictions are counted in :meth:`stats` (the service surfaces them in
+its ``ping`` reply).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from collections.abc import Callable
 from typing import TYPE_CHECKING
 
@@ -36,13 +43,34 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class StructureCache:
     """Score memo + structural artefact cache for the solver registry."""
 
-    def __init__(self, *, enabled: bool = True) -> None:
+    def __init__(
+        self, *, enabled: bool = True, max_entries: int | None = None
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None for unbounded)")
         self.enabled = enabled
+        self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
-        self._scores: dict[tuple, float] = {}
-        self._nets: dict[tuple, TimedEventGraph] = {}
-        self._reach: dict[tuple, ReachabilityResult] = {}
+        self.evictions = 0
+        self._scores: OrderedDict[tuple, float] = OrderedDict()
+        self._nets: OrderedDict[tuple, TimedEventGraph] = OrderedDict()
+        self._reach: OrderedDict[tuple, ReachabilityResult] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # LRU plumbing
+    # ------------------------------------------------------------------
+    def _touch(self, table: OrderedDict, key: tuple) -> None:
+        """Mark ``key`` most-recently-used (no-op when unbounded)."""
+        if self.max_entries is not None:
+            table.move_to_end(key)
+
+    def _insert(self, table: OrderedDict, key: tuple, value) -> None:
+        """Insert, evicting the least-recently-used entry when over cap."""
+        table[key] = value
+        if self.max_entries is not None and len(table) > self.max_entries:
+            table.popitem(last=False)
+            self.evictions += 1
 
     # ------------------------------------------------------------------
     # Score memo
@@ -60,6 +88,7 @@ class StructureCache:
         """Memoized score for ``key``; counts the hit when present."""
         if self.enabled and key in self._scores:
             self.hits += 1
+            self._touch(self._scores, key)
             return self._scores[key]
         return None
 
@@ -67,7 +96,7 @@ class StructureCache:
         """Record a freshly computed score (counts the miss)."""
         self.misses += 1
         if self.enabled:
-            self._scores[key] = value
+            self._insert(self._scores, key, value)
         return value
 
     def score(self, key: tuple, compute: Callable[[], float]) -> float:
@@ -95,7 +124,10 @@ class StructureCache:
         )
         net = self._nets.get(key)
         if net is None:
-            net = self._nets[key] = build()
+            net = build()
+            self._insert(self._nets, key, net)
+        else:
+            self._touch(self._nets, key)
         return net
 
     def reachability(
@@ -123,7 +155,10 @@ class StructureCache:
         )
         reach = self._reach.get(key)
         if reach is None:
-            reach = self._reach[key] = explore()
+            reach = explore()
+            self._insert(self._reach, key, reach)
+        else:
+            self._touch(self._reach, key)
         return reach
 
     # ------------------------------------------------------------------
@@ -139,14 +174,17 @@ class StructureCache:
             "requests": self.requests,
             "hits": self.hits,
             "misses": self.misses,
+            "evictions": self.evictions,
             "nets": len(self._nets),
             "reachability": len(self._reach),
+            "scores": len(self._scores),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         s = self.stats()
         return (
             f"StructureCache(requests={s['requests']}, hits={s['hits']}, "
-            f"misses={s['misses']}, nets={s['nets']}, "
-            f"reach={s['reachability']}, enabled={self.enabled})"
+            f"misses={s['misses']}, evictions={s['evictions']}, "
+            f"nets={s['nets']}, reach={s['reachability']}, "
+            f"enabled={self.enabled})"
         )

@@ -64,6 +64,16 @@ class UnsupportedModelError(ReproError):
     """The requested computation is undefined for the given execution model."""
 
 
+class ServiceError(ReproError):
+    """The evaluation service cannot honour a request.
+
+    Raised client-side for transport problems (no server listening, the
+    connection died mid-exchange, a malformed frame) and for error
+    replies (unknown operation, a request the server rejected); raised
+    server-side when a request payload fails validation.
+    """
+
+
 class CampaignError(ReproError):
     """A campaign specification, store, or run request is inconsistent.
 

@@ -1,0 +1,47 @@
+"""Long-lived throughput-evaluation service (daemon + client, stdlib-only).
+
+PRs 1-3 made the throughput oracle fast, uniform and scriptable; this
+subsystem makes it *resident*. A ``repro.cli serve`` process keeps the
+expensive state alive between requests and answers JSON-framed queries
+over a loopback socket:
+
+* :mod:`repro.service.protocol` — newline-delimited JSON framing;
+* :mod:`repro.service.diskcache` — tier-2 persistent score cache
+  (fingerprint-keyed JSONL on the campaign store's crash-safe
+  machinery), so a *restarted* server still answers repeat queries
+  without recomputation;
+* :mod:`repro.service.queue` — single-flight coalescing: N identical
+  concurrent requests cost one evaluator run and get N replies;
+* :mod:`repro.service.workers` — the :class:`EvaluationEngine`: one
+  long-lived (optionally LRU-bounded) :class:`StructureCache`, one
+  persistent process pool, per-task failure isolation;
+* :mod:`repro.service.server` / :mod:`repro.service.client` — the
+  daemon and the client library behind ``repro.cli
+  serve/submit/ping/shutdown`` and ``campaign run --via-service``.
+"""
+
+from repro.service.client import ServiceClient, wait_for_service
+from repro.service.diskcache import DiskScoreCache, score_digest
+from repro.service.protocol import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    parse_endpoint,
+)
+from repro.service.queue import CoalescingQueue
+from repro.service.server import ServiceServer, serve_in_thread
+from repro.service.workers import EvaluationEngine, normalize_task
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "CoalescingQueue",
+    "DiskScoreCache",
+    "EvaluationEngine",
+    "ServiceClient",
+    "ServiceServer",
+    "normalize_task",
+    "parse_endpoint",
+    "score_digest",
+    "serve_in_thread",
+    "wait_for_service",
+]

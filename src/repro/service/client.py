@@ -1,0 +1,207 @@
+"""Client library for the evaluation service.
+
+:class:`ServiceClient` keeps one connection to a running server and
+exposes the protocol operations as methods returning plain Python
+values. Transport problems and server-side rejections both surface as
+:class:`~repro.exceptions.ServiceError`; per-task evaluation failures
+come back as structured records (see :meth:`ServiceClient.evaluate_batch`),
+mirroring ``evaluate_tasks(on_error="record")``.
+
+The client is what ``repro.cli submit/ping/shutdown`` and
+``campaign run --via-service`` are built on; anything with a socket can
+speak the same one-JSON-object-per-line protocol directly.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+from repro.exceptions import ServiceError
+from repro.service.protocol import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    recv_frame,
+    send_frame,
+)
+
+
+class ServiceClient:
+    """One connection to an evaluation service (lazy, reconnecting)."""
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        *,
+        timeout: float | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._rfile = None
+        self._wfile = None
+
+    # ------------------------------------------------------------------
+    # Connection plumbing
+    # ------------------------------------------------------------------
+    def _connect(self) -> None:
+        if self._sock is not None:
+            return
+        try:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot reach evaluation service at "
+                f"{self.host}:{self.port}: {exc}"
+            ) from None
+        # The timeout guards *connecting* (is anything listening?). An
+        # established exchange blocks until the server replies — batch
+        # evaluations legitimately run for minutes, and timing one out
+        # would strand a healthy computation.
+        self._sock.settimeout(None)
+        self._rfile = self._sock.makefile("rb")
+        self._wfile = self._sock.makefile("wb")
+
+    def close(self) -> None:
+        for closer in (self._rfile, self._wfile, self._sock):
+            if closer is not None:
+                try:
+                    closer.close()
+                except OSError:
+                    pass
+        self._sock = self._rfile = self._wfile = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def request(self, payload: dict) -> dict:
+        """Send one frame, await its reply; raise on any error reply."""
+        self._connect()
+        try:
+            send_frame(self._wfile, payload)
+            reply = recv_frame(self._rfile)
+        except (OSError, ServiceError) as exc:
+            self.close()
+            if isinstance(exc, ServiceError):
+                raise
+            raise ServiceError(
+                f"service connection to {self.host}:{self.port} failed: {exc}"
+            ) from None
+        if reply is None:
+            self.close()
+            raise ServiceError(
+                f"service at {self.host}:{self.port} closed the connection"
+            )
+        if not reply.get("ok"):
+            raise ServiceError(
+                reply.get("error", "service refused the request")
+            )
+        return reply
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def ping(self) -> dict:
+        """Liveness probe: ``{"version": ..., "counters": {...}}``."""
+        reply = self.request({"op": "ping"})
+        return {"version": reply.get("version"), "counters": reply.get("counters")}
+
+    def evaluate(self, task: dict) -> float:
+        """Score one wire-format task; a per-task failure raises."""
+        reply = self.request({"op": "evaluate", "task": task})
+        failure = reply.get("failure")
+        if failure:
+            raise ServiceError(
+                f"evaluation failed ({failure.get('error')}): "
+                f"{failure.get('message')}"
+            )
+        return reply["value"]
+
+    def solve(
+        self,
+        system_name: str,
+        *,
+        solver: str = "deterministic",
+        model: str = "overlap",
+        options: dict | None = None,
+    ) -> float:
+        """Score a named example system (the CLI ``solve`` convenience)."""
+        reply = self.request(
+            {
+                "op": "solve",
+                "system_name": system_name,
+                "solver": solver,
+                "model": model,
+                "options": options or {},
+            }
+        )
+        failure = reply.get("failure")
+        if failure:
+            raise ServiceError(
+                f"solve failed ({failure.get('error')}): "
+                f"{failure.get('message')}"
+            )
+        return reply["value"]
+
+    def evaluate_batch(
+        self, tasks: list[dict]
+    ) -> tuple[list, list[dict], dict]:
+        """Score a task batch: ``(values, failures, stats)``.
+
+        ``values`` aligns with ``tasks`` (``None`` in failed slots);
+        ``failures`` holds ``{"index", "error", "message"}`` records;
+        ``stats`` is the server's cost breakdown for this batch
+        (``executed`` / ``disk_hits`` / ``memo_hits`` / ``coalesced``).
+        """
+        reply = self.request({"op": "batch", "tasks": tasks})
+        return (
+            reply.get("values", []),
+            reply.get("failures", []),
+            reply.get("stats", {}),
+        )
+
+    def search(self, **params) -> dict:
+        """Server-side mapping search; see ``EvaluationEngine.run_search``."""
+        reply = self.request({"op": "search", "params": params})
+        return {
+            key: reply[key]
+            for key in (
+                "throughput", "teams", "evaluations",
+                "cache_hits", "cache_misses",
+            )
+        }
+
+    def shutdown(self) -> None:
+        """Ask the server to stop; the connection is closed afterwards."""
+        self.request({"op": "shutdown"})
+        self.close()
+
+
+def wait_for_service(
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    *,
+    timeout: float = 10.0,
+    interval: float = 0.1,
+) -> dict:
+    """Ping until the service answers (or ``timeout`` elapses).
+
+    Returns the first successful ping reply — the startup handshake for
+    scripts that just launched ``repro.cli serve`` in the background.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            with ServiceClient(host, port, timeout=interval + 1.0) as client:
+                return client.ping()
+        except ServiceError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(interval)

@@ -1,0 +1,109 @@
+"""Tier-2 persistent score cache behind the evaluation service.
+
+The in-process :class:`~repro.evaluate.cache.StructureCache` memo dies
+with the server; this cache does not. Every computed score is appended,
+fingerprint-keyed, to a JSONL file through the campaign store's
+crash-safe machinery (:class:`~repro.campaign.store.ResultStore`:
+fsync'd appends, torn-tail repair on load, duplicate dropping), so a
+restarted server answers every repeat query without a single evaluator
+run.
+
+Keys are *score digests*: a stable hash of the solver name, its frozen
+options and the mapping's canonical timing fingerprint under the model.
+Two requests that resolve to the same computation — whatever campaign,
+client or process they came from — share one cache line; requests that
+differ in any score-relevant way never collide.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+from repro.campaign.store import ResultStore
+from repro.evaluate.batch import _options_key
+from repro.evaluate.fingerprint import mapping_fingerprint
+from repro.evaluate.solvers import ThroughputSolver
+from repro.mapping.mapping import Mapping
+from repro.types import ExecutionModel
+
+
+def score_digest(
+    solver: ThroughputSolver, mapping: Mapping, model: ExecutionModel | str
+) -> str:
+    """Stable hex digest identifying one ``(solver, options, mapping, model)``
+    computation.
+
+    Built from the same canonical data as the in-memory score memo's key
+    (`repr`-stable tuples of primitives), hashed so it survives as a
+    plain string in JSON records and protocol frames across processes
+    and Python builds.
+    """
+    key = (solver.name, _options_key(solver), mapping_fingerprint(mapping, model))
+    return hashlib.blake2b(repr(key).encode(), digest_size=16).hexdigest()
+
+
+class DiskScoreCache:
+    """Persistent ``score digest → throughput`` map on JSONL.
+
+    A thin, counting façade over :class:`ResultStore`: one record per
+    score, deduplicated by digest, loaded once at construction. Scores
+    are plain JSON floats — ``json`` round-trips ``repr``-exact, so a
+    value served from disk is bit-identical to the one computed.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self._store = ResultStore(path)
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def path(self):
+        return self._store.path
+
+    @property
+    def dropped_lines(self) -> int:
+        """Torn or duplicate lines dropped while loading (crash debris)."""
+        return self._store.dropped_lines
+
+    # ------------------------------------------------------------------
+    def get(self, digest: str) -> float | None:
+        """Cached score for ``digest``, counting the hit or miss."""
+        record = self._store.get(digest)
+        if record is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return float(record["value"])
+
+    def put(self, digest: str, value: float, **meta) -> bool:
+        """Persist one score (``meta`` adds provenance fields to the record).
+
+        Returns ``True`` when a new line was written; an already-cached
+        digest is left untouched (first write wins, matching the store's
+        dedup-on-load rule for concurrent writers).
+        """
+        return self._store.append(
+            {"fingerprint": digest, "value": float(value), **meta}
+        )
+
+    # ------------------------------------------------------------------
+    def __contains__(self, digest: object) -> bool:
+        return digest in self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "entries": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "dropped_lines": self.dropped_lines,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DiskScoreCache({str(self.path)!r}, entries={len(self)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,72 @@
+"""In-flight request coalescing keyed by score digest.
+
+When N identical requests are in flight at once — N clients asking for
+the same ``(solver, options, mapping, model)`` computation — exactly one
+of them (the *leader*) runs the evaluator; the other N-1 (*followers*)
+block on the leader's future and receive the same value. The memo and
+the disk cache only deduplicate *completed* work; this queue closes the
+window while the work is still running, which is where a busy service
+spends its time.
+
+The queue itself never computes anything: callers :meth:`claim` a key,
+and whoever is told they lead must eventually :meth:`resolve` it —
+with a value or a :class:`~repro.evaluate.batch.TaskFailure` — so
+followers can never deadlock on an abandoned key.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+
+
+class CoalescingQueue:
+    """Single-flight map: score digest → future of the in-flight run."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: dict[str, Future] = {}
+        #: Keys this queue handed to a leader (distinct computations started).
+        self.leads = 0
+        #: Claims that were absorbed by an already-in-flight computation.
+        self.coalesced = 0
+
+    def claim(self, key: str) -> tuple[Future, bool]:
+        """Return ``(future, is_leader)`` for ``key``.
+
+        The first claimant of a key leads: it must compute the value and
+        :meth:`resolve` the returned future. Every further claimant while
+        the key is in flight is a follower: it just waits on the future.
+        """
+        with self._lock:
+            fut = self._inflight.get(key)
+            if fut is not None:
+                self.coalesced += 1
+                return fut, False
+            fut = Future()
+            self._inflight[key] = fut
+            self.leads += 1
+            return fut, True
+
+    def resolve(self, key: str, future: Future, value) -> None:
+        """Publish the leader's result and retire the key.
+
+        ``value`` may be a score or a ``TaskFailure`` — followers receive
+        whichever the leader produced. The key is removed *before* the
+        future is set, so a new request arriving after a failure starts a
+        fresh computation instead of inheriting the stale one.
+        """
+        with self._lock:
+            self._inflight.pop(key, None)
+        future.set_result(value)
+
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._inflight)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "leads": self.leads,
+            "coalesced": self.coalesced,
+            "in_flight": self.in_flight(),
+        }

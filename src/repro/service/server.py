@@ -1,0 +1,240 @@
+"""The evaluation daemon: JSON-framed requests over a loopback socket.
+
+``ServiceServer`` is a threading TCP server (stdlib ``socketserver``,
+no new dependencies): each connection gets a handler thread that reads
+newline-delimited JSON requests and answers them through the shared
+:class:`~repro.service.workers.EvaluationEngine`. Supported operations:
+
+* ``ping`` — liveness probe; replies with the package version and the
+  engine/cache/queue counters;
+* ``evaluate`` — score one wire-format task (``solve`` is the
+  named-system convenience form of the same thing);
+* ``batch`` — score a list of tasks (the campaign runner's chunk shape);
+* ``search`` — run the multi-start mapping search server-side, on the
+  shared structure cache;
+* ``shutdown`` — reply, then stop the server loop cleanly.
+
+The server binds loopback by default and speaks an unauthenticated
+protocol: it is a local evaluation accelerator, not an internet
+service.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socketserver
+import threading
+
+from repro._version import __version__
+from repro.evaluate.batch import TaskFailure
+from repro.exceptions import ServiceError
+from repro.service.protocol import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    error_reply,
+    recv_frame,
+    send_frame,
+)
+from repro.service.workers import EvaluationEngine
+
+
+def _jsonify_results(results: list) -> tuple[list, list[dict]]:
+    """Split engine results into a value list and failure records.
+
+    Failed slots carry ``None`` in ``values``; each failure is reported
+    once in ``failures`` with the index it belongs to.
+    """
+    values: list = []
+    failures: list[dict] = []
+    for index, result in enumerate(results):
+        if isinstance(result, TaskFailure):
+            values.append(None)
+            failures.append({"index": index, **result.to_dict()})
+        else:
+            values.append(result)
+    return values, failures
+
+
+def handle_request(server: "ServiceServer", payload: dict) -> tuple[dict, bool]:
+    """Dispatch one request frame; return ``(reply, stop_server)``."""
+    engine = server.engine
+    op = payload.get("op")
+    try:
+        if op == "ping":
+            return {
+                "ok": True,
+                "op": "ping",
+                "version": __version__,
+                "counters": engine.status(),
+            }, False
+        if op == "shutdown":
+            return {"ok": True, "op": "shutdown"}, True
+        if op in ("evaluate", "solve"):
+            if op == "solve":
+                name = payload.get("system_name")
+                if not isinstance(name, str) or not name:
+                    raise ServiceError("solve needs a string 'system_name'")
+                task = {
+                    "system": {"kind": "named", "params": {"name": name}},
+                    "solver": payload.get("solver", "deterministic"),
+                    "model": payload.get("model", "overlap"),
+                    "options": payload.get("options", {}),
+                }
+            else:
+                task = payload.get("task")
+            results, stats = engine.run_batch([task])
+            values, failures = _jsonify_results(results)
+            return {
+                "ok": True,
+                "op": op,
+                "value": values[0],
+                "failure": failures[0] if failures else None,
+                "stats": stats,
+            }, False
+        if op == "batch":
+            tasks = payload.get("tasks")
+            if not isinstance(tasks, list):
+                raise ServiceError("batch needs a list 'tasks'")
+            results, stats = engine.run_batch(tasks)
+            values, failures = _jsonify_results(results)
+            return {
+                "ok": True,
+                "op": "batch",
+                "values": values,
+                "failures": failures,
+                "stats": stats,
+            }, False
+        if op == "search":
+            params = payload.get("params")
+            if not isinstance(params, dict):
+                raise ServiceError("search needs an object 'params'")
+            return {"ok": True, "op": "search", **engine.run_search(params)}, False
+        raise ServiceError(
+            f"unknown op {op!r}; supported: "
+            "ping, evaluate, solve, batch, search, shutdown"
+        )
+    except ServiceError as exc:
+        return error_reply(str(exc)), False
+    except Exception as exc:  # a bug must not kill the daemon
+        return error_reply(str(exc), error_type=type(exc).__name__), False
+
+
+class _RequestHandler(socketserver.StreamRequestHandler):
+    """One connection: a loop of request frames until EOF or shutdown."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised via sockets
+        while True:
+            try:
+                payload = recv_frame(self.rfile)
+            except ServiceError as exc:
+                try:
+                    send_frame(self.wfile, error_reply(str(exc)))
+                except OSError:
+                    pass
+                return
+            if payload is None:
+                return
+            self.server._begin_request()
+            try:
+                reply, stop = handle_request(self.server, payload)
+                try:
+                    send_frame(self.wfile, reply)
+                except OSError:
+                    return
+            finally:
+                self.server._end_request()
+            if stop:
+                # shutdown() blocks until serve_forever() returns, and
+                # must not be called from the serving thread itself.
+                threading.Thread(
+                    target=self.server.shutdown, daemon=True
+                ).start()
+                return
+
+
+class ServiceServer(socketserver.ThreadingTCPServer):
+    """Threaded loopback TCP server around one :class:`EvaluationEngine`."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self,
+        engine: EvaluationEngine,
+        *,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+    ) -> None:
+        self.engine = engine
+        # Handler threads are daemons (an idle client connection must
+        # never pin the process), so draining is explicit: dispatched
+        # requests are counted and a stopping server waits for their
+        # replies to go out before tearing the engine down.
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._drained = threading.Event()
+        self._drained.set()
+        super().__init__((host, port), _RequestHandler)
+
+    def _begin_request(self) -> None:
+        with self._inflight_lock:
+            self._inflight += 1
+            self._drained.clear()
+
+    def _end_request(self) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._drained.set()
+
+    def wait_for_inflight(self, timeout: float | None = None) -> bool:
+        """Block until every dispatched request has sent its reply.
+
+        Called between ``shutdown()`` and engine teardown so a
+        ``shutdown`` from one client cannot discard another client's
+        mid-evaluation batch. Requests still in a connection's read
+        loop (idle clients) don't count — only dispatched work does.
+        """
+        return self._drained.wait(timeout)
+
+    @property
+    def endpoint(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (resolves ``port=0`` ephemerals)."""
+        host, port = self.server_address[:2]
+        return host, port
+
+    def write_ready_file(self, path: str | os.PathLike) -> None:
+        """Atomically publish the bound endpoint for scripts to discover."""
+        host, port = self.endpoint
+        payload = {"host": host, "port": port, "pid": os.getpid()}
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+
+
+def serve_in_thread(
+    engine: EvaluationEngine,
+    *,
+    host: str = DEFAULT_HOST,
+    port: int = 0,
+) -> tuple[ServiceServer, threading.Thread]:
+    """Start a server on a background thread (ephemeral port by default).
+
+    The embedding entry point used by the tests, the benchmarks and
+    ``examples/service_client.py``. The caller owns the lifecycle::
+
+        server, thread = serve_in_thread(engine)
+        ... ServiceClient(*server.endpoint) ...
+        server.shutdown(); server.server_close(); thread.join()
+    """
+    server = ServiceServer(engine, host=host, port=port)
+    # A tight poll interval keeps shutdown() latency out of embedded
+    # timings (the default 0.5 s would dominate short benchmarks).
+    thread = threading.Thread(
+        target=lambda: server.serve_forever(poll_interval=0.02), daemon=True
+    )
+    thread.start()
+    return server, thread

@@ -1,0 +1,363 @@
+"""Evaluation engine: shared caches + persistent worker pool + coalescing.
+
+One :class:`EvaluationEngine` lives for the whole life of a service
+process and executes every request against three cooperating layers:
+
+1. the **tier-2 disk cache** (:class:`~repro.service.diskcache.DiskScoreCache`,
+   optional) — answers repeat queries across server restarts;
+2. the **coalescing queue** (:class:`~repro.service.queue.CoalescingQueue`)
+   — merges identical in-flight requests into one evaluator run;
+3. the **solver layer** — :func:`repro.evaluate.evaluate_tasks` in
+   ``on_error="record"`` mode over one long-lived
+   :class:`~repro.evaluate.cache.StructureCache` (optionally
+   LRU-bounded) and, for ``n_jobs > 1``, one persistent
+   :class:`~concurrent.futures.ProcessPoolExecutor` amortized across
+   every request the server ever handles.
+
+Request handler threads call :meth:`run_batch` concurrently. The solver
+layer is guarded by one lock (the structure cache and the pool are not
+thread-safe); parallelism across a batch comes from the worker pool,
+and concurrency across *identical* requests from coalescing — a leader
+resolves all its futures before waiting on anyone else's, so the
+claim/resolve discipline cannot deadlock.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.campaign.spec import SystemSpec
+from repro.evaluate.batch import TaskFailure, evaluate_tasks
+from repro.evaluate.cache import StructureCache
+from repro.evaluate.solvers import ThroughputSolver, get_solver
+from repro.exceptions import ReproError, ServiceError
+from repro.mapping.mapping import Mapping
+from repro.service.diskcache import DiskScoreCache, score_digest
+from repro.service.queue import CoalescingQueue
+from repro.types import ExecutionModel
+
+#: The keys a task payload may carry (``options`` may be omitted).
+_TASK_KEYS = {"system", "solver", "model", "options"}
+
+
+def normalize_task(
+    task: dict,
+) -> tuple[ThroughputSolver, Mapping, ExecutionModel]:
+    """Validate one wire-format task and build its evaluation triple.
+
+    A task is the JSON shape the campaign runner ships:
+    ``{"system": <SystemSpec dict>, "solver": <registry name>,
+    "model": "overlap"|"strict", "options": {...}}``. Anything else —
+    unknown keys, an unknown solver, a system that cannot be built —
+    raises (:class:`ServiceError` or a library error), which
+    :meth:`EvaluationEngine.run_batch` records against that task's slot
+    only.
+    """
+    if not isinstance(task, dict):
+        raise ServiceError(f"a task must be a JSON object, got {task!r}")
+    unknown = set(task) - _TASK_KEYS
+    if unknown:
+        raise ServiceError(
+            f"unknown task key(s): {', '.join(sorted(map(str, unknown)))}; "
+            f"allowed: {', '.join(sorted(_TASK_KEYS))}"
+        )
+    missing = {"system", "solver"} - set(task)
+    if missing:
+        raise ServiceError(
+            f"task is missing key(s): {', '.join(sorted(missing))}"
+        )
+    options = task.get("options", {})
+    if not isinstance(options, dict):
+        raise ServiceError(f"task options must be an object, got {options!r}")
+    mapping = SystemSpec.from_dict(task["system"]).build()
+    if not isinstance(task["solver"], str):
+        raise ServiceError(
+            f"task solver must be a registry name, got {task['solver']!r}"
+        )
+    try:
+        solver = get_solver(task["solver"], **options)
+    except TypeError as exc:
+        raise ServiceError(
+            f"cannot configure solver {task['solver']!r} "
+            f"with options {options!r}: {exc}"
+        ) from None
+    try:
+        model = ExecutionModel.coerce(task.get("model", "overlap"))
+    except ValueError as exc:
+        raise ServiceError(str(exc)) from None
+    return solver, mapping, model
+
+
+class EvaluationEngine:
+    """Long-lived executor shared by every connection of a service."""
+
+    def __init__(
+        self,
+        *,
+        n_jobs: int = 1,
+        cache: StructureCache | None = None,
+        disk: DiskScoreCache | None = None,
+        max_entries: int | None = None,
+    ) -> None:
+        if n_jobs < 1:
+            raise ValueError("n_jobs must be >= 1")
+        if cache is None:
+            cache = StructureCache(max_entries=max_entries)
+        elif max_entries is not None:
+            raise ValueError(
+                "max_entries only applies to the engine-owned cache; "
+                "bound the provided StructureCache at construction instead"
+            )
+        self.cache = cache
+        self.disk = disk
+        self.n_jobs = n_jobs
+        self.queue = CoalescingQueue()
+        # The structure cache, the pool and the disk store are plain
+        # single-threaded objects; each gets one guard. _eval_lock also
+        # serializes solver work, which is intentional: CPU parallelism
+        # belongs to the process pool, not to handler threads.
+        self._eval_lock = threading.Lock()
+        self._disk_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._pool: ProcessPoolExecutor | None = None
+        self.batches = 0
+        self.units = 0
+        self.executed = 0
+        self.disk_hits = 0
+        self.memo_hits = 0
+        self.failures = 0
+        self.disk_errors = 0
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_batch(self, tasks: list[dict]) -> tuple[list, dict]:
+        """Execute wire-format ``tasks``; return ``(results, stats)``.
+
+        ``results`` holds one entry per task, in order: a float score or
+        a :class:`TaskFailure`. ``stats`` describes what *this* batch
+        cost: ``executed`` counts actual evaluator runs, ``disk_hits`` /
+        ``memo_hits`` the two cache tiers, ``coalesced`` the tasks
+        served by another request's in-flight run.
+        """
+        n = len(tasks)
+        results: list = [None] * n
+        stats = {
+            "units": n,
+            "executed": 0,
+            "disk_hits": 0,
+            "memo_hits": 0,
+            "coalesced": 0,
+            "failures": 0,
+        }
+
+        # 1. Validate and build each task; failures stay per-slot.
+        norm: dict[int, tuple[ThroughputSolver, Mapping, ExecutionModel, str]] = {}
+        for i, task in enumerate(tasks):
+            try:
+                solver, mapping, model = normalize_task(task)
+            except (ReproError, TypeError, ValueError, KeyError) as exc:
+                results[i] = TaskFailure.of(exc)
+                continue
+            norm[i] = (solver, mapping, model, score_digest(solver, mapping, model))
+
+        # 2. Tier-2 lookup, then group what is left by digest.
+        pending: dict[str, list[int]] = {}
+        for i, (_s, _mp, _model, digest) in norm.items():
+            if self.disk is not None:
+                with self._disk_lock:
+                    value = self.disk.get(digest)
+                if value is not None:
+                    results[i] = value
+                    stats["disk_hits"] += 1
+                    continue
+            pending.setdefault(digest, []).append(i)
+
+        # 3. Claim every digest: this request leads the ones nobody else
+        #    is computing and follows the rest. In-batch duplicates of a
+        #    led digest count as coalesced too (they ride the one run
+        #    this batch starts), so the printed cost breakdown always
+        #    accounts for every unit.
+        claimed: dict[str, tuple] = {}
+        leaders: list[str] = []
+        for digest, idxs in pending.items():
+            future, leads = self.queue.claim(digest)
+            claimed[digest] = future
+            if leads:
+                leaders.append(digest)
+                stats["coalesced"] += len(idxs) - 1
+            else:
+                stats["coalesced"] += len(idxs)
+
+        # 4. One evaluator pass over the led digests. The futures are
+        #    always resolved — an unexpected error becomes a TaskFailure
+        #    for every led task, never a deadlocked follower.
+        if leaders:
+            lead_tasks = [norm[pending[d][0]][:3] for d in leaders]
+            try:
+                with self._eval_lock:
+                    hits0, misses0 = self.cache.hits, self.cache.misses
+                    values = evaluate_tasks(
+                        lead_tasks,
+                        cache=self.cache,
+                        n_jobs=self.n_jobs,
+                        pool=self._get_pool(),
+                        on_error="record",
+                    )
+                    # A failure value is an evaluator run that raised
+                    # mid-flight (resolution errors never reach here),
+                    # and is never store()d — count both kinds of run.
+                    stats["executed"] += (self.cache.misses - misses0) + sum(
+                        isinstance(v, TaskFailure) for v in values
+                    )
+                    stats["memo_hits"] += self.cache.hits - hits0
+            except BaseException as exc:
+                failure = TaskFailure.of(exc)
+                for digest in leaders:
+                    self.queue.resolve(digest, claimed[digest], failure)
+                raise
+            resolved: set[str] = set()
+            try:
+                for digest, value in zip(leaders, values):
+                    if self.disk is not None and not isinstance(
+                        value, TaskFailure
+                    ):
+                        solver, _mp, model = norm[pending[digest][0]][:3]
+                        try:
+                            with self._disk_lock:
+                                self.disk.put(
+                                    digest,
+                                    value,
+                                    solver=solver.name,
+                                    model=model.value,
+                                )
+                        except Exception:
+                            # Tier-2 persistence is best-effort: a full
+                            # disk must degrade the cache, not the
+                            # answer (the value is already computed).
+                            with self._stats_lock:
+                                self.disk_errors += 1
+                    self.queue.resolve(digest, claimed[digest], value)
+                    resolved.add(digest)
+            except BaseException as exc:
+                # Safety net for bugs in the loop itself: strand no
+                # follower, whatever happens.
+                failure = TaskFailure.of(exc)
+                for digest in leaders:
+                    if digest not in resolved:
+                        self.queue.resolve(digest, claimed[digest], failure)
+                raise
+
+        # 5. Collect: leader futures are already resolved; follower
+        #    futures block until their leader publishes.
+        for digest, idxs in pending.items():
+            value = claimed[digest].result()
+            for i in idxs:
+                results[i] = value
+
+        stats["failures"] = sum(isinstance(r, TaskFailure) for r in results)
+        with self._stats_lock:
+            self.batches += 1
+            self.units += n
+            self.executed += stats["executed"]
+            self.disk_hits += stats["disk_hits"]
+            self.memo_hits += stats["memo_hits"]
+            self.failures += stats["failures"]
+        return results, stats
+
+    def run_search(self, params: dict) -> dict:
+        """Mapping search over an explicit instance, on the shared cache.
+
+        ``params``: ``works`` (list), optional ``files``, ``speeds``
+        (list), optional ``bandwidth``, plus ``solver`` / ``restarts`` /
+        ``seed`` / ``max_states``. Returns the best mapping's teams and
+        throughput with the memo counters of this search.
+        """
+        from repro.application.chain import Application
+        from repro.mapping.heuristics import random_restart_search
+        from repro.platform.topology import Platform
+
+        unknown = set(params) - {
+            "works", "files", "speeds", "bandwidth",
+            "solver", "restarts", "seed", "max_states",
+        }
+        if unknown:
+            raise ServiceError(
+                f"unknown search key(s): {', '.join(sorted(map(str, unknown)))}"
+            )
+        for key in ("works", "speeds"):
+            if not isinstance(params.get(key), list) or not params[key]:
+                raise ServiceError(f"search needs a non-empty list {key!r}")
+        try:
+            app = Application.from_work(params["works"], params.get("files"))
+            platform = Platform.from_speeds(
+                params["speeds"], params.get("bandwidth", 1.0)
+            )
+            with self._eval_lock:
+                result = random_restart_search(
+                    app,
+                    platform,
+                    mode=params.get("solver", "deterministic"),
+                    n_restarts=int(params.get("restarts", 5)),
+                    seed=int(params.get("seed", 0)),
+                    max_states=int(params.get("max_states", 200_000)),
+                    n_jobs=self.n_jobs,
+                    cache=self.cache,
+                    pool=self._get_pool(),
+                )
+        except (ReproError, TypeError, ValueError) as exc:
+            raise ServiceError(f"search failed: {exc}") from None
+        return {
+            "throughput": result.throughput,
+            "teams": [list(team) for team in result.mapping.teams],
+            "evaluations": result.evaluations,
+            "cache_hits": result.cache_hits,
+            "cache_misses": result.cache_misses,
+        }
+
+    # ------------------------------------------------------------------
+    # Pool and lifecycle
+    # ------------------------------------------------------------------
+    def _get_pool(self) -> ProcessPoolExecutor | None:
+        """The persistent executor (lazily spawned; None when serial)."""
+        if self.n_jobs == 1:
+            return None
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.n_jobs)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "EvaluationEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def status(self) -> dict:
+        """The counter block of the service's ``ping`` reply."""
+        with self._stats_lock:
+            totals = {
+                "batches": self.batches,
+                "units": self.units,
+                "executed": self.executed,
+                "disk_hits": self.disk_hits,
+                "memo_hits": self.memo_hits,
+                "failures": self.failures,
+                "disk_errors": self.disk_errors,
+            }
+        return {
+            "requests": totals,
+            "structure_cache": self.cache.stats(),
+            "queue": self.queue.stats(),
+            "disk_cache": self.disk.stats() if self.disk is not None else None,
+            "n_jobs": self.n_jobs,
+        }

@@ -234,3 +234,167 @@ class TestCampaign:
         # different unit (so stores from different seeds never conflate).
         assert r1["fingerprint"] != r2["fingerprint"]
         assert r1["seed"] != r2["seed"]
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+
+class TestServiceCommands:
+    @pytest.fixture
+    def served_cli(self, tmp_path):
+        """`repro.cli serve` running on a background thread.
+
+        Serves with an ephemeral port, a disk cache and a ready-file —
+        exactly the operator setup the CI smoke job scripts — and
+        yields the bound port.
+        """
+        import json as json_mod
+        import threading
+        import time
+
+        ready = tmp_path / "ready.json"
+        args = [
+            "serve", "--port", "0",
+            "--cache", str(tmp_path / "svc_cache.jsonl"),
+            "--ready-file", str(ready),
+            "--max-entries", "64",
+        ]
+        thread = threading.Thread(target=main, args=(args,), daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 10
+        while not ready.exists() and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert ready.exists(), "server never wrote its ready file"
+        port = json_mod.loads(ready.read_text())["port"]
+        yield port
+        from repro.exceptions import ServiceError
+        from repro.service import ServiceClient
+
+        try:
+            with ServiceClient(port=port, timeout=2.0) as client:
+                client.shutdown()
+        except ServiceError:
+            pass  # the test already shut it down
+        thread.join(timeout=5)
+
+    def test_ping_exit_codes(self, served_cli, capsys):
+        port = served_cli
+        assert main(["ping", "--port", str(port)]) == 0
+        out = capsys.readouterr().out
+        assert "version" in out and "evaluator" in out
+        # Contract: 1 (not a usage error) when nothing listens.
+        assert main(["ping", "--port", "1", "--timeout", "0.5"]) == 1
+
+    def test_ping_json_stdout_is_pure_json(self, served_cli, capsys):
+        port = served_cli
+        assert main(["ping", "--port", str(port), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)  # nothing but JSON
+        assert payload["counters"]["structure_cache"]["evictions"] == 0
+        assert payload["counters"]["requests"]["units"] == 0
+        assert payload["version"]
+
+    def test_submit_twice_second_pass_all_cache_hits(self, served_cli, capsys):
+        port = served_cli
+        assert main(["submit", "--port", str(port), "--preset", "smoke"]) == 0
+        first = capsys.readouterr().out
+        assert "executed   : 4" in first
+        assert main(["submit", "--port", str(port), "--preset", "smoke"]) == 0
+        second = capsys.readouterr().out
+        assert "executed   : 0" in second
+        assert "cache hits : 4" in second
+        assert "failures   : 0" in second
+
+    def test_submit_single_system(self, served_cli, capsys):
+        port = served_cli
+        assert main(
+            ["submit", "--port", str(port), "--system", "example_a"]
+        ) == 0
+        assert "example_a" in capsys.readouterr().out
+
+    def test_submit_needs_exactly_one_work_source(self, served_cli, tmp_path):
+        port = served_cli
+        with pytest.raises(SystemExit) as exc:
+            main(["submit", "--port", str(port)])
+        assert exc.value.code == 2
+        with pytest.raises(SystemExit) as exc:
+            main(
+                ["submit", "--port", str(port), "--preset", "smoke",
+                 "--system", "example_a"]
+            )
+        assert exc.value.code == 2
+
+    def test_submit_unreachable_exits_1(self, capsys):
+        assert main(
+            ["submit", "--port", "1", "--preset", "smoke",
+             "--timeout", "0.5"]
+        ) == 1
+        assert "submit failed" in capsys.readouterr().err
+
+    def test_campaign_run_via_service(self, served_cli, tmp_path, capsys):
+        port = served_cli
+        local = tmp_path / "local.jsonl"
+        via = tmp_path / "via.jsonl"
+        assert main(
+            ["campaign", "run", "--preset", "smoke", "--store", str(local)]
+        ) == 0
+        assert main(
+            ["campaign", "run", "--preset", "smoke", "--store", str(via),
+             "--via-service", f"127.0.0.1:{port}"]
+        ) == 0
+        assert via.read_bytes() == local.read_bytes()
+
+    def test_campaign_run_via_bad_endpoint_exits_2(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(
+                ["campaign", "run", "--preset", "smoke",
+                 "--store", str(tmp_path / "s.jsonl"),
+                 "--via-service", "not-an-endpoint"]
+            )
+        assert exc.value.code == 2
+
+    def test_shutdown_exit_codes(self, served_cli, capsys):
+        port = served_cli
+        assert main(["shutdown", "--port", str(port)]) == 0
+        assert "stopped" in capsys.readouterr().out
+        assert main(
+            ["shutdown", "--port", "1", "--timeout", "0.5"]
+        ) == 1
+
+    def test_submit_seed_with_system_rejected(self, served_cli):
+        port = served_cli
+        with pytest.raises(SystemExit) as exc:
+            main(
+                ["submit", "--port", str(port), "--system", "example_a",
+                 "--seed", "42"]
+            )
+        assert exc.value.code == 2
+
+    def test_submit_chunks_large_batches(self, served_cli, capsys, monkeypatch):
+        # A spec bigger than one submit chunk still scores every unit,
+        # with the printed stats aggregated across the chunked frames.
+        import repro.cli as cli_mod
+
+        port = served_cli
+        monkeypatch.setattr(cli_mod, "_SUBMIT_CHUNK", 3)
+        assert main(["submit", "--port", str(port), "--preset", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "units      : 4" in out
+        assert "executed   : 4" in out
+        assert "failures   : 0" in out
+        assert out.count(" : ") >= 4  # every unit's value line printed
+
+    def test_submit_solver_with_preset_rejected(self, served_cli):
+        port = served_cli
+        with pytest.raises(SystemExit) as exc:
+            main(
+                ["submit", "--port", str(port), "--preset", "smoke",
+                 "--solver", "exponential"]
+            )
+        assert exc.value.code == 2

@@ -12,9 +12,11 @@ from repro.core.exponential import exponential_throughput
 from repro.core.bounds import throughput_bounds
 from repro.evaluate import (
     StructureCache,
+    TaskFailure,
     available_solvers,
     evaluate,
     evaluate_many,
+    evaluate_tasks,
     get_solver,
     mapping_fingerprint,
     structure_fingerprint,
@@ -242,3 +244,144 @@ class TestStructureSharing:
         get_solver("bounds").bounds(mp, "strict", cache=cache)
         assert cache.stats()["nets"] == 1
         assert cache.stats()["reachability"] == 1
+
+
+# ----------------------------------------------------------------------
+# Structured failure records (evaluate_tasks on_error="record")
+# ----------------------------------------------------------------------
+class _ExplodingSolver:
+    """A picklable solver whose solve always raises (worker-safe)."""
+
+    name = "exploding"
+
+    def solve(self, mapping, model="overlap", *, cache=None):
+        raise RuntimeError("kaboom")
+
+
+class TestTaskFailureRecords:
+    def test_default_mode_still_raises(self):
+        mp = single_communication(2, 2)
+        with pytest.raises(RuntimeError, match="kaboom"):
+            evaluate_tasks([(_ExplodingSolver(), mp, "overlap")])
+
+    def test_record_mode_isolates_the_poisoned_task(self):
+        mp = single_communication(2, 2)
+        tasks = [
+            ("deterministic", mp, "overlap"),
+            (_ExplodingSolver(), mp, "overlap"),
+            ("deterministic", single_communication(2, 3), "overlap"),
+        ]
+        values = evaluate_tasks(tasks, on_error="record")
+        assert values[0] == evaluate(mp, solver="deterministic")
+        assert isinstance(values[1], TaskFailure)
+        assert (values[1].error, values[1].message) == ("RuntimeError", "kaboom")
+        assert values[2] == evaluate(
+            single_communication(2, 3), solver="deterministic"
+        )
+
+    def test_record_mode_covers_solver_resolution(self):
+        mp = single_communication(2, 2)
+        values = evaluate_tasks(
+            [("warp_drive", mp, "overlap"), ("deterministic", mp, "overlap")],
+            on_error="record",
+        )
+        assert isinstance(values[0], TaskFailure)
+        assert values[0].error == "UnsupportedModelError"
+        assert values[1] == evaluate(mp, solver="deterministic")
+        with pytest.raises(UnsupportedModelError):
+            evaluate_tasks([("warp_drive", mp, "overlap")])
+
+    def test_failures_are_not_memoized(self):
+        mp = single_communication(2, 2)
+        cache = StructureCache()
+        first = evaluate_tasks(
+            [(_ExplodingSolver(), mp, "overlap")], cache=cache, on_error="record"
+        )
+        assert isinstance(first[0], TaskFailure)
+        assert cache.misses == 0  # a failure is not a score
+        # The same cache retries the computation instead of replaying it.
+        again = evaluate_tasks(
+            [(_ExplodingSolver(), mp, "overlap")], cache=cache, on_error="record"
+        )
+        assert isinstance(again[0], TaskFailure)
+        assert cache.hits == 0
+
+    def test_in_batch_duplicates_share_the_failure_without_hit_counts(self):
+        mp = single_communication(2, 2)
+        cache = StructureCache()
+        values = evaluate_tasks(
+            [(_ExplodingSolver(), mp, "overlap")] * 3,
+            cache=cache,
+            on_error="record",
+        )
+        assert all(isinstance(v, TaskFailure) for v in values)
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_record_mode_parallel_matches_serial(self):
+        mappings = [single_communication(u, 2) for u in (2, 3, 4)]
+        tasks = [
+            ("deterministic", mappings[0], "overlap"),
+            (_ExplodingSolver(), mappings[1], "overlap"),
+            ("deterministic", mappings[2], "overlap"),
+        ]
+        serial = evaluate_tasks(tasks, n_jobs=1, on_error="record")
+        parallel = evaluate_tasks(tasks, n_jobs=2, on_error="record")
+        assert serial == parallel
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="on_error"):
+            evaluate_tasks([], on_error="ignore")
+
+    def test_to_dict_round_trip(self):
+        failure = TaskFailure(error="ValueError", message="nope")
+        assert failure.to_dict() == {"error": "ValueError", "message": "nope"}
+
+
+# ----------------------------------------------------------------------
+# LRU-bounded structure cache
+# ----------------------------------------------------------------------
+class TestStructureCacheLRU:
+    def test_scores_evict_least_recently_used(self):
+        cache = StructureCache(max_entries=2)
+        cache.store(("a",), 1.0)
+        cache.store(("b",), 2.0)
+        assert cache.lookup(("a",)) == 1.0  # refresh a: b is now LRU
+        cache.store(("c",), 3.0)  # evicts b
+        assert cache.evictions == 1
+        assert cache.lookup(("b",)) is None
+        assert cache.lookup(("a",)) == 1.0
+        assert cache.lookup(("c",)) == 3.0
+        assert cache.stats()["scores"] == 2
+
+    def test_nets_and_reachability_bounded(self):
+        cache = StructureCache(max_entries=2)
+        batch = [make_mapping([[0], [1, 2]], seed=s) for s in range(4)]
+        evaluate_many(batch, solver="exponential", model="strict", cache=cache)
+        stats = cache.stats()
+        assert stats["nets"] <= 2
+        assert stats["reachability"] <= 2
+        assert stats["evictions"] >= 2  # 4 distinct nets through a 2-slot map
+
+    def test_eviction_changes_no_values(self):
+        batch = [make_mapping([[0], [1, 2]], seed=s) for s in range(4)]
+        bounded = evaluate_many(
+            batch,
+            solver="exponential",
+            model="strict",
+            cache=StructureCache(max_entries=1),
+        )
+        unbounded = evaluate_many(
+            batch, solver="exponential", model="strict", cache=StructureCache()
+        )
+        assert bounded == unbounded
+
+    def test_unbounded_default_never_evicts(self):
+        cache = StructureCache()
+        for i in range(100):
+            cache.store((i,), float(i))
+        assert cache.evictions == 0
+        assert cache.stats()["scores"] == 100
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            StructureCache(max_entries=0)
