@@ -15,6 +15,11 @@ Benchmarked engines:
   paper's Overlap system;
 * ``replicate.serial`` / ``replicate.parallel`` — the replication runner
   with ``n_jobs=1`` vs all cores;
+* ``replication.loop`` / ``replication.vectorized`` — the paper's
+  Section 7.2/7.3 replication study (500 replications of the Fig. 10
+  Overlap system) through the per-replication loop vs the batched numpy
+  recurrence pass (``replicate(engine=)``), with the per-replication
+  estimate vectors asserted byte-identical;
 * ``maxplus.matmul`` — the row-blocked (max,+) product;
 * ``search.uncached`` / ``search.memoized`` — the multi-start mapping
   search scored through ``repro.evaluate`` without / with the
@@ -32,6 +37,11 @@ Benchmarked engines:
   freshly *restarted* server on the populated cache (which must execute
   0 evaluator runs), and N concurrent identical submissions (which must
   coalesce into exactly 1 evaluator run).
+
+``run_benchmarks(workloads=[...])`` (CLI: ``bench --workloads``) filters
+the suite by substring match on the engine names above, so a single
+workload pair can be re-timed without re-running everything; speedup
+ratios are reported for whichever pairs actually ran.
 """
 
 from __future__ import annotations
@@ -91,8 +101,20 @@ def _sim_run(tpn, n_datasets: int, engine: str, rng: np.random.Generator):
     return simulate_tpn(tpn, n_datasets=n_datasets, rng=rng, engine=engine)
 
 
-def run_benchmarks(*, quick: bool = False, repeats: int | None = None) -> dict:
-    """Run the engine micro-benchmarks and return the report dict."""
+def run_benchmarks(
+    *,
+    quick: bool = False,
+    repeats: int | None = None,
+    workloads: list[str] | tuple[str, ...] | None = None,
+) -> dict:
+    """Run the engine micro-benchmarks and return the report dict.
+
+    ``workloads`` filters the suite by substring match on engine names.
+    Engines are timed in slower/faster blocks, so matching either side of
+    a pair runs the whole block (``["replication"]`` re-times
+    ``replication.loop`` *and* ``replication.vectorized`` — a ratio needs
+    both). ``None`` / empty runs everything.
+    """
     from repro.markov import tpn_throughput_exponential
     from repro.maxplus.matrix import MaxPlusMatrix
     from repro.petri import build_overlap_tpn
@@ -104,181 +126,275 @@ def run_benchmarks(*, quick: bool = False, repeats: int | None = None) -> dict:
         repeats = 2 if quick else 5
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
+    selected = tuple(s for s in (workloads or ()) if s)
+
+    def _want(*names: str) -> bool:
+        return not selected or any(
+            sub in name for name in names for sub in selected
+        )
+
     engines: dict[str, dict] = {}
+    max_states = 500_000
+
+    # Shared fixtures, built once on first use so a filtered run only
+    # pays for what it times.
+    fixtures: dict[str, object] = {}
+
+    def _strict_net():
+        if "strict" not in fixtures:
+            net = _mid_size_strict_net(quick)
+            net.kernel  # build the cached incidence structures up front
+            fixtures["strict"] = net
+        return fixtures["strict"]
+
+    def _overlap_net():
+        if "overlap" not in fixtures:
+            net = build_overlap_tpn(paper_system())
+            net.kernel
+            fixtures["overlap"] = net
+        return fixtures["overlap"]
+
+    def _strict_reach():
+        if "reach" not in fixtures:
+            fixtures["reach"] = explore(_strict_net(), max_states=max_states)
+        return fixtures["reach"]
 
     # -- reachability -------------------------------------------------
-    strict = _mid_size_strict_net(quick)
-    strict.kernel  # build the cached incidence structures up front
-    max_states = 500_000
-    vec_t, reach = _timed(partial(explore, strict, max_states=max_states), repeats)
-    n_arcs = sum(len(moves) for moves in reach.arcs)
-    engines["reachability.vectorized"] = {
-        "median_s": vec_t, "n_states": reach.n_states, "n_arcs": n_arcs,
-    }
-    ref_t, ref = _timed(
-        partial(explore_reference, strict, max_states=max_states),
-        max(1, repeats // 2),
-    )
-    engines["reachability.reference"] = {
-        "median_s": ref_t, "n_states": ref.n_states,
-        "n_arcs": sum(len(moves) for moves in ref.arcs),
-    }
+    if _want("reachability.vectorized", "reachability.reference"):
+        strict = _strict_net()
+        vec_t, reach = _timed(
+            partial(explore, strict, max_states=max_states), repeats
+        )
+        fixtures["reach"] = reach
+        n_arcs = sum(len(moves) for moves in reach.arcs)
+        engines["reachability.vectorized"] = {
+            "median_s": vec_t, "n_states": reach.n_states, "n_arcs": n_arcs,
+        }
+        ref_t, ref = _timed(
+            partial(explore_reference, strict, max_states=max_states),
+            max(1, repeats // 2),
+        )
+        engines["reachability.reference"] = {
+            "median_s": ref_t, "n_states": ref.n_states,
+            "n_arcs": sum(len(moves) for moves in ref.arcs),
+        }
 
     # -- exact exponential throughput (Theorem 2, end to end) ---------
-    thr_t, rho = _timed(
-        partial(tpn_throughput_exponential, strict, max_states=max_states),
-        max(1, repeats // 2),
-    )
-    engines["markov.throughput"] = {
-        "median_s": thr_t, "n_states": reach.n_states, "throughput": float(rho),
-    }
+    if _want("markov.throughput"):
+        thr_t, rho = _timed(
+            partial(
+                tpn_throughput_exponential, _strict_net(),
+                max_states=max_states,
+            ),
+            max(1, repeats // 2),
+        )
+        engines["markov.throughput"] = {
+            "median_s": thr_t, "n_states": _strict_reach().n_states,
+            "throughput": float(rho),
+        }
 
     # -- discrete-event simulation ------------------------------------
-    overlap = build_overlap_tpn(paper_system())
-    overlap.kernel
-    n_datasets = 500 if quick else 2000
-    fast_t, fast = _timed(
-        lambda: simulate_tpn(overlap, n_datasets=n_datasets, seed=7, engine="fast"),
-        repeats,
-    )
-    engines["sim.fast"] = {"median_s": fast_t, "n_events": fast.n_events,
-                           "n_datasets": n_datasets}
-    ref_sim_t, ref_sim = _timed(
-        lambda: simulate_tpn(overlap, n_datasets=n_datasets, seed=7,
-                             engine="reference"),
-        max(1, repeats // 2),
-    )
-    engines["sim.reference"] = {"median_s": ref_sim_t, "n_events": ref_sim.n_events,
-                                "n_datasets": n_datasets}
+    if _want("sim.fast", "sim.reference"):
+        overlap = _overlap_net()
+        n_datasets = 500 if quick else 2000
+        fast_t, fast = _timed(
+            lambda: simulate_tpn(
+                overlap, n_datasets=n_datasets, seed=7, engine="fast"
+            ),
+            repeats,
+        )
+        engines["sim.fast"] = {"median_s": fast_t, "n_events": fast.n_events,
+                               "n_datasets": n_datasets}
+        ref_sim_t, ref_sim = _timed(
+            lambda: simulate_tpn(overlap, n_datasets=n_datasets, seed=7,
+                                 engine="reference"),
+            max(1, repeats // 2),
+        )
+        engines["sim.reference"] = {
+            "median_s": ref_sim_t, "n_events": ref_sim.n_events,
+            "n_datasets": n_datasets,
+        }
 
-    # -- replication runner -------------------------------------------
-    n_rep = 4 if quick else 16
-    rep_datasets = 100 if quick else 300
-    run = partial(_sim_run, overlap, rep_datasets, "fast")
-    serial_t, serial = _timed(
-        partial(replicate, run, n_replications=n_rep, seed=11), max(1, repeats // 2)
-    )
-    engines["replicate.serial"] = {
-        "median_s": serial_t, "n_replications": n_rep, "mean": serial.mean,
-    }
-    n_jobs = max(1, os.cpu_count() or 1)
-    par_t, par = _timed(
-        partial(replicate, run, n_replications=n_rep, seed=11, n_jobs=n_jobs),
-        max(1, repeats // 2),
-    )
-    engines["replicate.parallel"] = {
-        "median_s": par_t, "n_replications": n_rep, "n_jobs": n_jobs,
-        "mean": par.mean, "bit_identical_to_serial": par == serial,
-    }
+    # -- replication runner (process pool) ----------------------------
+    if _want("replicate.serial", "replicate.parallel"):
+        n_rep = 4 if quick else 16
+        rep_datasets = 100 if quick else 300
+        run = partial(_sim_run, _overlap_net(), rep_datasets, "fast")
+        serial_t, serial = _timed(
+            partial(replicate, run, n_replications=n_rep, seed=11),
+            max(1, repeats // 2),
+        )
+        engines["replicate.serial"] = {
+            "median_s": serial_t, "n_replications": n_rep, "mean": serial.mean,
+        }
+        n_jobs = max(1, os.cpu_count() or 1)
+        par_t, par = _timed(
+            partial(replicate, run, n_replications=n_rep, seed=11,
+                    n_jobs=n_jobs),
+            max(1, repeats // 2),
+        )
+        engines["replicate.parallel"] = {
+            "median_s": par_t, "n_replications": n_rep, "n_jobs": n_jobs,
+            "mean": par.mean, "bit_identical_to_serial": par == serial,
+        }
+
+    # -- batched replication study: loop vs vectorized engine ---------
+    if _want("replication.loop", "replication.vectorized"):
+        from repro.sim import ReplicationSpec, replication_values
+
+        # The paper workload: 500 replications of the Fig. 10 Overlap
+        # system under exponential times (quick mode shrinks it to the
+        # 32-replication CI smoke study).
+        n_rep = 32 if quick else 500
+        rep_nd = 200 if quick else 1000
+        rspec = ReplicationSpec(
+            paper_system(), "overlap", n_datasets=rep_nd, law="exponential"
+        )
+        loop_t, loop_sum = _timed(
+            partial(replicate, rspec, n_replications=n_rep, seed=11,
+                    engine="loop"),
+            max(1, repeats // 2),
+        )
+        engines["replication.loop"] = {
+            "median_s": loop_t, "n_replications": n_rep,
+            "n_datasets": rep_nd, "mean": loop_sum.mean,
+        }
+        vec_t, vec_sum = _timed(
+            partial(replicate, rspec, n_replications=n_rep, seed=11,
+                    engine="vectorized"),
+            repeats,
+        )
+        loop_vals = replication_values(
+            rspec, n_replications=n_rep, seed=11, engine="loop"
+        )
+        vec_vals = replication_values(
+            rspec, n_replications=n_rep, seed=11, engine="vectorized"
+        )
+        engines["replication.vectorized"] = {
+            "median_s": vec_t, "n_replications": n_rep,
+            "n_datasets": rep_nd, "mean": vec_sum.mean,
+            "summary_identical_to_loop": vec_sum == loop_sum,
+            "per_replication_identical": (
+                loop_vals.tobytes() == vec_vals.tobytes()
+            ),
+        }
 
     # -- (max,+) matrix product ---------------------------------------
-    n = 96 if quick else 192
-    rng = np.random.default_rng(2)
-    a = rng.uniform(0.0, 5.0, (n, n))
-    a[rng.random((n, n)) < 0.5] = -np.inf
-    mat = MaxPlusMatrix(a)
-    mm_t, _ = _timed(lambda: mat @ mat, repeats)
-    engines["maxplus.matmul"] = {"median_s": mm_t, "n": n}
+    if _want("maxplus.matmul"):
+        n = 96 if quick else 192
+        rng = np.random.default_rng(2)
+        a = rng.uniform(0.0, 5.0, (n, n))
+        a[rng.random((n, n)) < 0.5] = -np.inf
+        mat = MaxPlusMatrix(a)
+        mm_t, _ = _timed(lambda: mat @ mat, repeats)
+        engines["maxplus.matmul"] = {"median_s": mm_t, "n": n}
 
     # -- batched mapping search (repro.evaluate) ----------------------
     from repro import Application, Mapping, Platform
     from repro.evaluate import StructureCache, evaluate_many
     from repro.mapping.heuristics import random_restart_search
 
-    # A paper-style instance: heterogeneous works on a homogeneous
-    # platform, where many search moves are throughput-isomorphic and the
-    # fingerprint memo shines (heterogeneous platforms still dedupe
-    # repeats, just fewer of them).
-    s_rng = np.random.default_rng(0)
-    s_app = Application.from_work(
-        s_rng.uniform(1.0, 8.0, 4).tolist(), s_rng.uniform(0.5, 2.0, 3).tolist()
-    )
-    s_plat = Platform.homogeneous(12, 2.0, 1.0)
-    n_restarts = 1 if quick else 3
-
-    def _search(enabled: bool):
-        cache = StructureCache(enabled=enabled)
-        return random_restart_search(
-            s_app, s_plat, n_restarts=n_restarts, seed=2, cache=cache
+    if _want("search.uncached", "search.memoized"):
+        # A paper-style instance: heterogeneous works on a homogeneous
+        # platform, where many search moves are throughput-isomorphic and
+        # the fingerprint memo shines (heterogeneous platforms still
+        # dedupe repeats, just fewer of them).
+        s_rng = np.random.default_rng(0)
+        s_app = Application.from_work(
+            s_rng.uniform(1.0, 8.0, 4).tolist(),
+            s_rng.uniform(0.5, 2.0, 3).tolist(),
         )
+        s_plat = Platform.homogeneous(12, 2.0, 1.0)
+        n_restarts = 1 if quick else 3
 
-    un_t, un = _timed(partial(_search, False), max(1, repeats // 2))
-    engines["search.uncached"] = {
-        "median_s": un_t, "n_restarts": n_restarts,
-        "evaluations": un.evaluations, "solver_runs": un.cache_misses,
-    }
-    memo_t, memo = _timed(partial(_search, True), max(1, repeats // 2))
-    engines["search.memoized"] = {
-        "median_s": memo_t, "n_restarts": n_restarts,
-        "evaluations": memo.evaluations, "solver_runs": memo.cache_misses,
-        "cache_hits": memo.cache_hits,
-        "same_optimum": memo.throughput == un.throughput,
-    }
+        def _search(enabled: bool):
+            cache = StructureCache(enabled=enabled)
+            return random_restart_search(
+                s_app, s_plat, n_restarts=n_restarts, seed=2, cache=cache
+            )
+
+        un_t, un = _timed(partial(_search, False), max(1, repeats // 2))
+        engines["search.uncached"] = {
+            "median_s": un_t, "n_restarts": n_restarts,
+            "evaluations": un.evaluations, "solver_runs": un.cache_misses,
+        }
+        memo_t, memo = _timed(partial(_search, True), max(1, repeats // 2))
+        engines["search.memoized"] = {
+            "median_s": memo_t, "n_restarts": n_restarts,
+            "evaluations": memo.evaluations, "solver_runs": memo.cache_misses,
+            "cache_hits": memo.cache_hits,
+            "same_optimum": memo.throughput == un.throughput,
+        }
 
     # -- same-topology Strict batch: shared reachability ---------------
-    n_cand = 4 if quick else 8
-    b_rng = np.random.default_rng(3)
-    b_app = Application.from_work([1.0, 1.0, 1.0], [0.5, 0.5])
-    teams = [[0], [1, 2], [3, 4, 5]]
-    candidates = [
-        Mapping(
-            b_app,
-            Platform.from_speeds(b_rng.uniform(0.5, 2.0, 6).tolist(), 1.0),
-            teams,
-        )
-        for _ in range(n_cand)
-    ]
+    if _want("evaluate_many.strict.uncached", "evaluate_many.strict.cached"):
+        n_cand = 4 if quick else 8
+        b_rng = np.random.default_rng(3)
+        b_app = Application.from_work([1.0, 1.0, 1.0], [0.5, 0.5])
+        teams = [[0], [1, 2], [3, 4, 5]]
+        candidates = [
+            Mapping(
+                b_app,
+                Platform.from_speeds(
+                    b_rng.uniform(0.5, 2.0, 6).tolist(), 1.0
+                ),
+                teams,
+            )
+            for _ in range(n_cand)
+        ]
 
-    def _batch(enabled: bool):
-        return evaluate_many(
-            candidates,
-            solver="exponential",
-            model="strict",
-            cache=StructureCache(enabled=enabled),
-        )
+        def _batch(enabled: bool):
+            return evaluate_many(
+                candidates,
+                solver="exponential",
+                model="strict",
+                cache=StructureCache(enabled=enabled),
+            )
 
-    bu_t, bu = _timed(partial(_batch, False), max(1, repeats // 2))
-    engines["evaluate_many.strict.uncached"] = {
-        "median_s": bu_t, "n_candidates": n_cand,
-    }
-    bc_t, bc = _timed(partial(_batch, True), max(1, repeats // 2))
-    engines["evaluate_many.strict.cached"] = {
-        "median_s": bc_t, "n_candidates": n_cand,
-        "bit_identical_to_uncached": bu == bc,
-    }
+        bu_t, bu = _timed(partial(_batch, False), max(1, repeats // 2))
+        engines["evaluate_many.strict.uncached"] = {
+            "median_s": bu_t, "n_candidates": n_cand,
+        }
+        bc_t, bc = _timed(partial(_batch, True), max(1, repeats // 2))
+        engines["evaluate_many.strict.cached"] = {
+            "median_s": bc_t, "n_candidates": n_cand,
+            "bit_identical_to_uncached": bu == bc,
+        }
 
     # -- campaign runner: cold run vs --resume ------------------------
     import tempfile
 
     from repro.campaign import ResultStore, get_preset, run_campaign
 
-    campaign_spec = get_preset("smoke" if quick else "fig13")
+    if _want("campaign.cold", "campaign.resume"):
+        campaign_spec = get_preset("smoke" if quick else "fig13")
 
-    def _campaign_cold():
+        def _campaign_cold():
+            with tempfile.TemporaryDirectory() as td:
+                return run_campaign(
+                    campaign_spec,
+                    ResultStore(os.path.join(td, "campaign.jsonl")),
+                )
+
+        cold_t, cold = _timed(_campaign_cold, max(1, repeats // 2))
+        engines["campaign.cold"] = {
+            "median_s": cold_t, "preset": campaign_spec.name,
+            "units": cold.total, "executed": cold.executed,
+        }
         with tempfile.TemporaryDirectory() as td:
-            return run_campaign(
-                campaign_spec, ResultStore(os.path.join(td, "campaign.jsonl"))
+            store_path = os.path.join(td, "campaign.jsonl")
+            run_campaign(campaign_spec, ResultStore(store_path))
+            resume_t, resumed = _timed(
+                lambda: run_campaign(
+                    campaign_spec, ResultStore(store_path), resume=True
+                ),
+                repeats,
             )
-
-    cold_t, cold = _timed(_campaign_cold, max(1, repeats // 2))
-    engines["campaign.cold"] = {
-        "median_s": cold_t, "preset": campaign_spec.name,
-        "units": cold.total, "executed": cold.executed,
-    }
-    with tempfile.TemporaryDirectory() as td:
-        store_path = os.path.join(td, "campaign.jsonl")
-        run_campaign(campaign_spec, ResultStore(store_path))
-        resume_t, resumed = _timed(
-            lambda: run_campaign(
-                campaign_spec, ResultStore(store_path), resume=True
-            ),
-            repeats,
-        )
-    engines["campaign.resume"] = {
-        "median_s": resume_t, "preset": campaign_spec.name,
-        "units": resumed.total, "executed": resumed.executed,
-        "skipped": resumed.skipped,
-    }
+        engines["campaign.resume"] = {
+            "median_s": resume_t, "preset": campaign_spec.name,
+            "units": resumed.total, "executed": resumed.executed,
+            "skipped": resumed.skipped,
+        }
 
     # -- evaluation service: cold vs warm restart vs coalescing --------
     import threading
@@ -291,148 +407,168 @@ def run_benchmarks(*, quick: bool = False, repeats: int | None = None) -> dict:
         serve_in_thread,
     )
 
-    # Quick mode reuses the cheap smoke grid; the full benchmark sends a
-    # mixed batch heavy enough (Strict marking chains, a long simulation)
-    # that the warm restart ratio reflects recomputation actually saved,
-    # not just socket round-trips.
-    if quick:
-        service_tasks = [
-            unit_task_payload(u) for u in expand(get_preset("smoke"))
-        ]
-    else:
-        def _pattern(u: int, v: int, solver: str) -> dict:
-            return {
-                "system": {
-                    "kind": "single_communication",
-                    "params": {"u": u, "v": v, "comm_time": 1.0},
-                },
-                "solver": solver, "model": "strict", "options": {},
-            }
-
-        service_tasks = [
-            _pattern(3, 4, "exponential"),
-            _pattern(4, 3, "exponential"),
-            _pattern(3, 4, "deterministic"),
-            {
-                "system": {
-                    "kind": "single_communication",
-                    "params": {"u": 3, "v": 4, "comm_time": 1.0},
-                },
-                "solver": "simulation", "model": "overlap",
-                "options": {"n_datasets": 2000, "seed": 1},
-            },
-        ]
-
-    def _serve_batch(cache_path: str | None) -> dict:
-        """One server lifetime: start, submit the smoke batch, stop."""
-        disk = DiskScoreCache(cache_path) if cache_path else None
-        engine = EvaluationEngine(disk=disk)
-        server, thread = serve_in_thread(engine)
-        try:
-            with ServiceClient(*server.endpoint) as client:
-                _values, _failures, stats = client.evaluate_batch(service_tasks)
-            return stats
-        finally:
-            server.shutdown()
-            server.server_close()
-            engine.close()
-            thread.join()
-
-    def _service_cold() -> dict:
-        with tempfile.TemporaryDirectory() as std:
-            return _serve_batch(os.path.join(std, "svc.jsonl"))
-
-    cold_svc_t, cold_svc = _timed(_service_cold, max(1, repeats // 2))
-    engines["service.cold"] = {
-        "median_s": cold_svc_t, "units": len(service_tasks),
-        "executed": cold_svc["executed"], "disk_hits": cold_svc["disk_hits"],
-    }
-    with tempfile.TemporaryDirectory() as std:
-        svc_path = os.path.join(std, "svc.jsonl")
-        _serve_batch(svc_path)  # populate the tier-2 cache once
-        # Every timed call is a fresh server process-equivalent (new
-        # engine, new memo) on the *existing* disk cache — the restart
-        # scenario. It must answer without a single evaluator run.
-        warm_svc_t, warm_svc = _timed(
-            partial(_serve_batch, svc_path), max(1, repeats // 2)
-        )
-    engines["service.warm"] = {
-        "median_s": warm_svc_t, "units": len(service_tasks),
-        "executed": warm_svc["executed"], "disk_hits": warm_svc["disk_hits"],
-    }
-
-    n_clients = 4 if quick else 8
-    # The burst must still be in flight when the followers arrive, so
-    # the full benchmark uses a marking chain that takes ~0.3 s; quick
-    # mode keeps a small one (executed=1 holds either way — followers
-    # that miss the flight window are absorbed by the memo instead).
-    coalesce_uv = (3, 3) if quick else (3, 4)
-    coalesce_task = {
-        "system": {
-            "kind": "single_communication",
-            "params": {"u": coalesce_uv[0], "v": coalesce_uv[1]},
-        },
-        "solver": "exponential", "model": "strict", "options": {},
-    }
-
-    def _service_coalesced() -> dict:
-        """N concurrent identical submissions against a cold server."""
-        engine = EvaluationEngine()
-        server, thread = serve_in_thread(engine)
-        barrier = threading.Barrier(n_clients)
-
-        def _one_client() -> None:
-            with ServiceClient(*server.endpoint) as client:
-                client.ping()  # connect before the synchronized burst
-                barrier.wait()
-                client.evaluate(coalesce_task)
-
-        try:
-            workers = [
-                threading.Thread(target=_one_client) for _ in range(n_clients)
+    if _want("service.cold", "service.warm"):
+        # Quick mode reuses the cheap smoke grid; the full benchmark
+        # sends a mixed batch heavy enough (Strict marking chains, a long
+        # simulation) that the warm restart ratio reflects recomputation
+        # actually saved, not just socket round-trips.
+        if quick:
+            service_tasks = [
+                unit_task_payload(u) for u in expand(get_preset("smoke"))
             ]
-            for w in workers:
-                w.start()
-            for w in workers:
-                w.join()
-            return {
-                "executed": engine.executed,
-                "coalesced": engine.queue.coalesced,
-            }
-        finally:
-            server.shutdown()
-            server.server_close()
-            engine.close()
-            thread.join()
+        else:
+            def _pattern(u: int, v: int, solver: str) -> dict:
+                return {
+                    "system": {
+                        "kind": "single_communication",
+                        "params": {"u": u, "v": v, "comm_time": 1.0},
+                    },
+                    "solver": solver, "model": "strict", "options": {},
+                }
 
-    co_t, co = _timed(_service_coalesced, max(1, repeats // 2))
-    engines["service.coalesced"] = {
-        "median_s": co_t, "n_clients": n_clients,
-        "executed": co["executed"], "coalesced": co["coalesced"],
-    }
+            service_tasks = [
+                _pattern(3, 4, "exponential"),
+                _pattern(4, 3, "exponential"),
+                _pattern(3, 4, "deterministic"),
+                {
+                    "system": {
+                        "kind": "single_communication",
+                        "params": {"u": 3, "v": 4, "comm_time": 1.0},
+                    },
+                    "solver": "simulation", "model": "overlap",
+                    "options": {"n_datasets": 2000, "seed": 1},
+                },
+            ]
+
+        def _serve_batch(cache_path: str | None) -> dict:
+            """One server lifetime: start, submit the smoke batch, stop."""
+            disk = DiskScoreCache(cache_path) if cache_path else None
+            engine = EvaluationEngine(disk=disk)
+            server, thread = serve_in_thread(engine)
+            try:
+                with ServiceClient(*server.endpoint) as client:
+                    _values, _failures, stats = client.evaluate_batch(
+                        service_tasks
+                    )
+                return stats
+            finally:
+                server.shutdown()
+                server.server_close()
+                engine.close()
+                thread.join()
+
+        def _service_cold() -> dict:
+            with tempfile.TemporaryDirectory() as std:
+                return _serve_batch(os.path.join(std, "svc.jsonl"))
+
+        cold_svc_t, cold_svc = _timed(_service_cold, max(1, repeats // 2))
+        engines["service.cold"] = {
+            "median_s": cold_svc_t, "units": len(service_tasks),
+            "executed": cold_svc["executed"],
+            "disk_hits": cold_svc["disk_hits"],
+        }
+        with tempfile.TemporaryDirectory() as std:
+            svc_path = os.path.join(std, "svc.jsonl")
+            _serve_batch(svc_path)  # populate the tier-2 cache once
+            # Every timed call is a fresh server process-equivalent (new
+            # engine, new memo) on the *existing* disk cache — the restart
+            # scenario. It must answer without a single evaluator run.
+            warm_svc_t, warm_svc = _timed(
+                partial(_serve_batch, svc_path), max(1, repeats // 2)
+            )
+        engines["service.warm"] = {
+            "median_s": warm_svc_t, "units": len(service_tasks),
+            "executed": warm_svc["executed"],
+            "disk_hits": warm_svc["disk_hits"],
+        }
+
+    if _want("service.coalesced"):
+        n_clients = 4 if quick else 8
+        # The burst must still be in flight when the followers arrive, so
+        # the full benchmark uses a marking chain that takes ~0.3 s; quick
+        # mode keeps a small one (executed=1 holds either way — followers
+        # that miss the flight window are absorbed by the memo instead).
+        coalesce_uv = (3, 3) if quick else (3, 4)
+        coalesce_task = {
+            "system": {
+                "kind": "single_communication",
+                "params": {"u": coalesce_uv[0], "v": coalesce_uv[1]},
+            },
+            "solver": "exponential", "model": "strict", "options": {},
+        }
+
+        def _service_coalesced() -> dict:
+            """N concurrent identical submissions against a cold server."""
+            engine = EvaluationEngine()
+            server, thread = serve_in_thread(engine)
+            barrier = threading.Barrier(n_clients)
+
+            def _one_client() -> None:
+                with ServiceClient(*server.endpoint) as client:
+                    client.ping()  # connect before the synchronized burst
+                    barrier.wait()
+                    client.evaluate(coalesce_task)
+
+            try:
+                workers = [
+                    threading.Thread(target=_one_client)
+                    for _ in range(n_clients)
+                ]
+                for w in workers:
+                    w.start()
+                for w in workers:
+                    w.join()
+                return {
+                    "executed": engine.executed,
+                    "coalesced": engine.queue.coalesced,
+                }
+            finally:
+                server.shutdown()
+                server.server_close()
+                engine.close()
+                thread.join()
+
+        co_t, co = _timed(_service_coalesced, max(1, repeats // 2))
+        engines["service.coalesced"] = {
+            "median_s": co_t, "n_clients": n_clients,
+            "executed": co["executed"], "coalesced": co["coalesced"],
+        }
+
+    if not engines:
+        raise ValueError(
+            f"--workloads {list(selected)!r} matched no benchmark engine"
+        )
 
     def _ratio(num: str, den: str) -> float:
         return engines[num]["median_s"] / max(engines[den]["median_s"], 1e-12)
 
+    #: slower / faster engine per speedup key — ratios are only reported
+    #: for pairs the (possibly filtered) run actually timed.
+    ratio_pairs = {
+        "reachability": ("reachability.reference", "reachability.vectorized"),
+        "sim": ("sim.reference", "sim.fast"),
+        "replicate": ("replicate.serial", "replicate.parallel"),
+        "replication": ("replication.loop", "replication.vectorized"),
+        "search": ("search.uncached", "search.memoized"),
+        "evaluate_many.strict": ("evaluate_many.strict.uncached",
+                                 "evaluate_many.strict.cached"),
+        "campaign.resume": ("campaign.cold", "campaign.resume"),
+        "service.warm_restart": ("service.cold", "service.warm"),
+    }
     return {
         "meta": {
             "bench": "engine microbenchmarks",
             "quick": quick,
             "repeats": repeats,
+            "workloads": list(selected),
             "numpy": np.__version__,
             "cpu_count": os.cpu_count(),
         },
         "engines": engines,
         "speedups": {
-            "reachability": _ratio("reachability.reference",
-                                   "reachability.vectorized"),
-            "sim": _ratio("sim.reference", "sim.fast"),
-            "replicate": _ratio("replicate.serial", "replicate.parallel"),
-            "search": _ratio("search.uncached", "search.memoized"),
-            "evaluate_many.strict": _ratio("evaluate_many.strict.uncached",
-                                           "evaluate_many.strict.cached"),
-            "campaign.resume": _ratio("campaign.cold", "campaign.resume"),
-            "service.warm_restart": _ratio("service.cold", "service.warm"),
+            key: _ratio(num, den)
+            for key, (num, den) in ratio_pairs.items()
+            if num in engines and den in engines
         },
     }
 

@@ -1,11 +1,11 @@
 """Ready-made campaign specs, including ports of the paper's drivers.
 
-Three of the hand-coded experiment drivers (``fig10``, ``fig13``,
-``timing`` — see :mod:`repro.experiments`) are re-expressed here as
-pure data: the same systems, solvers and parameter grids, but run by
-the generic sweep engine with a resumable store instead of bespoke
-loops. Their descriptions come straight from the experiment registry,
-so ``repro.cli list`` and the presets stay one source.
+Four of the hand-coded experiment drivers (``fig10``, ``fig11``,
+``fig13``, ``timing`` — see :mod:`repro.experiments`) are re-expressed
+here as pure data: the same systems, solvers and parameter grids, but
+run by the generic sweep engine with a resumable store instead of
+bespoke loops. Their descriptions come straight from the experiment
+registry, so ``repro.cli list`` and the presets stay one source.
 
 ``smoke`` is the tiny 4-unit grid used by CI and the benchmark
 harness.
@@ -64,6 +64,29 @@ def _fig10() -> CampaignSpec:
     )
 
 
+def _fig11() -> CampaignSpec:
+    system = SystemSpec(
+        "uniform_chain",
+        {"replication": [1, 3, 4, 5, 6, 7, 1], "work": 10.0, "file_size": 10.0},
+    )
+    return CampaignSpec(
+        name="fig11",
+        description=experiment_description("fig11"),
+        seed=11,
+        scenarios=[
+            ScenarioSpec(
+                name="fig11/dispersion",
+                description="mean replicated throughput vs run length "
+                "(vectorized replication engine)",
+                system=system,
+                solver="simulation",
+                options={"n_replications": 100, "engine": "vectorized"},
+                axes={"solver.n_datasets": [10, 100, 1000]},
+            ),
+        ],
+    )
+
+
 def _fig13() -> CampaignSpec:
     return CampaignSpec(
         name="fig13",
@@ -114,6 +137,7 @@ def _timing() -> CampaignSpec:
 PRESETS: dict[str, Callable[[], CampaignSpec]] = {
     "smoke": _smoke,
     "fig10": _fig10,
+    "fig11": _fig11,
     "fig13": _fig13,
     "timing": _timing,
 }

@@ -19,6 +19,7 @@ Usage::
     python -m repro.cli ping --port 7781
     python -m repro.cli shutdown --port 7781
     python -m repro.cli bench --quick --output BENCH_PR4.json
+    python -m repro.cli bench --workloads replication --output rep.json
 
 Exit-code contract of the service probes (for CI and operators):
 ``ping`` exits 0 when a server answers on the endpoint and 1 when none
@@ -668,6 +669,17 @@ def main(argv: list[str] | None = None) -> int:
         help="path of the JSON report (default: %(default)s)",
     )
     benchp.add_argument(
+        "--workloads",
+        nargs="+",
+        default=None,
+        metavar="SUBSTR",
+        help="only run workload blocks whose engine names contain one of "
+        "these substrings — paired engines run together, so matching one "
+        "side re-times its whole pair (e.g. 'replication' re-times "
+        "replication.loop + replication.vectorized); default: the whole "
+        "suite",
+    )
+    benchp.add_argument(
         "--force",
         action="store_true",
         help="overwrite an existing report file (committed PR baselines are "
@@ -701,7 +713,14 @@ def main(argv: list[str] | None = None) -> int:
                 "baseline?); pass --force to overwrite or choose another "
                 "--output"
             )
-        report = run_benchmarks(quick=args.quick, repeats=args.repeats)
+        try:
+            report = run_benchmarks(
+                quick=args.quick,
+                repeats=args.repeats,
+                workloads=args.workloads,
+            )
+        except ValueError as exc:
+            parser.error(str(exc))
         print(render_report(report))
         try:
             write_report(report, args.output)

@@ -17,7 +17,7 @@ from repro.evaluate import evaluate
 from repro.experiments.common import ExperimentResult
 from repro.mapping.mapping import Mapping
 from repro.petri import build_overlap_tpn
-from repro.sim.system_sim import simulate_system
+from repro.sim.runner import ReplicationSpec, throughput_vs_datasets
 from repro.sim.tpn_sim import simulate_tpn
 
 
@@ -60,12 +60,19 @@ def run(config: Fig10Config | None = None) -> ExperimentResult:
     cst_theory = evaluate(mp, solver="deterministic")
     exp_theory = evaluate(mp, solver="exponential")
     n_max = max(config.dataset_counts)
-    sim_cst = simulate_system(
-        mp, "overlap", n_datasets=n_max, law="deterministic", seed=config.seed
-    )
-    sim_exp = simulate_system(
-        mp, "overlap", n_datasets=n_max, law="exponential", seed=config.seed
-    )
+    # The system-simulator convergence series ride the runner: one run at
+    # the largest count, prefix estimates for the smaller ones (the
+    # dataset counts are validated as genuine integers up front).
+    cst_series = dict(throughput_vs_datasets(
+        ReplicationSpec(mp, "overlap", n_datasets=n_max, law="deterministic"),
+        config.dataset_counts,
+        seed=config.seed,
+    ))
+    exp_series = dict(throughput_vs_datasets(
+        ReplicationSpec(mp, "overlap", n_datasets=n_max, law="exponential"),
+        config.dataset_counts,
+        seed=config.seed,
+    ))
     tpn = build_overlap_tpn(mp)
     n_tpn = min(n_max, config.tpn_max_datasets)
     tpn_cst = simulate_tpn(
@@ -78,8 +85,8 @@ def run(config: Fig10Config | None = None) -> ExperimentResult:
         result.add(
             n_datasets=k,
             cst_theory=cst_theory,
-            cst_system=sim_cst.throughput_after(k),
-            exp_system=sim_exp.throughput_after(k),
+            cst_system=cst_series[k],
+            exp_system=exp_series[k],
             cst_tpn=tpn_cst.throughput_after(min(k, n_tpn)),
             exp_tpn=tpn_exp.throughput_after(min(k, n_tpn)),
             exp_theory=exp_theory,

@@ -15,8 +15,7 @@ from dataclasses import dataclass, field
 from repro.evaluate import evaluate
 from repro.experiments.common import ExperimentResult
 from repro.experiments.fig10 import paper_system
-from repro.sim.runner import replicate
-from repro.sim.system_sim import simulate_system
+from repro.sim.runner import ReplicationSpec, replicate
 
 
 @dataclass
@@ -26,6 +25,10 @@ class Fig11Config:
     )
     n_replications: int = 500
     seed: int = 11
+    #: Replication engine: "auto" batches all replications through one
+    #: vectorized recurrence pass; "loop" forces the serial oracle.
+    #: Values are bit-identical either way.
+    engine: str = "auto"
 
 
 def run(config: Fig11Config | None = None) -> ExperimentResult:
@@ -46,11 +49,10 @@ def run(config: Fig11Config | None = None) -> ExperimentResult:
     )
     for k in config.dataset_counts:
         summary = replicate(
-            lambda rng, k=k: simulate_system(
-                mp, "overlap", n_datasets=k, law="exponential", rng=rng
-            ),
+            ReplicationSpec(mp, "overlap", n_datasets=k, law="exponential"),
             n_replications=config.n_replications,
             seed=config.seed,
+            engine=config.engine,
         )
         result.add(
             n_datasets=k,

@@ -12,15 +12,29 @@ Two independent simulators cross-validate the analytical results:
 
 from repro.sim.results import SimulationResult
 from repro.sim.tpn_sim import simulate_tpn
-from repro.sim.system_sim import simulate_system
-from repro.sim.runner import replicate, ReplicationSummary, throughput_vs_datasets
+from repro.sim.system_sim import (
+    BatchSimulationResult,
+    simulate_system,
+    simulate_system_batch,
+)
+from repro.sim.runner import (
+    ReplicationSpec,
+    ReplicationSummary,
+    replicate,
+    replication_values,
+    throughput_vs_datasets,
+)
 from repro.sim.stats import OnlineStats, normal_confidence_interval
 
 __all__ = [
     "SimulationResult",
+    "BatchSimulationResult",
     "simulate_tpn",
     "simulate_system",
+    "simulate_system_batch",
     "replicate",
+    "replication_values",
+    "ReplicationSpec",
     "ReplicationSummary",
     "throughput_vs_datasets",
     "OnlineStats",

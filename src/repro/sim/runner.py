@@ -3,6 +3,21 @@
 Reproduces the paper's Section 7.2/7.3 methodology: run 500 independent
 replications of 10…10 000 data sets and report min / max / average /
 standard deviation of the throughput estimator.
+
+Two execution engines produce the same numbers:
+
+* ``engine="loop"`` — one :func:`~repro.sim.system_sim.simulate_system`
+  pass per replication (optionally fanned over a process pool);
+* ``engine="vectorized"`` — all replications evaluated in one
+  :func:`~repro.sim.system_sim.simulate_system_batch` recurrence pass,
+  with the replication axis handled by numpy instead of the interpreter.
+
+``engine="auto"`` (the default) picks the vectorized engine whenever the
+work is described by a :class:`ReplicationSpec` — a declarative record
+the runner can dispatch on — and falls back to the loop for opaque
+callables. Each replication draws from its own spawned generator in the
+serial draw order, so the per-replication estimates (and therefore the
+summaries) are **bit-identical** across engines.
 """
 
 from __future__ import annotations
@@ -11,13 +26,79 @@ import pickle
 import warnings
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from functools import partial
 
 import numpy as np
 
+from repro.mapping.mapping import Mapping
 from repro.sim.results import SimulationResult
 from repro.sim.stats import OnlineStats, normal_confidence_interval
+from repro.sim.system_sim import (
+    BatchSimulationResult,
+    simulate_system,
+    simulate_system_batch,
+)
+from repro.types import ExecutionModel
+
+#: Recognized values of ``replicate(engine=)``.
+ENGINES = ("auto", "vectorized", "loop")
+
+#: Recognized values of ``replicate(estimator=)``.
+ESTIMATORS = ("total", "steady")
+
+
+@dataclass(frozen=True)
+class ReplicationSpec:
+    """A batchable replication study: one system-simulator configuration.
+
+    Where a bare callable is opaque, this record lets the runner *see*
+    the work — mapping, model, law, workload size — and route it to the
+    vectorized batch kernel. It is itself a picklable
+    ``rng -> SimulationResult`` callable, so it drops into every API that
+    accepted a run callable (including ``n_jobs > 1`` process pools).
+    """
+
+    mapping: Mapping
+    model: ExecutionModel | str = "overlap"
+    n_datasets: int = 1_000
+    law: object = "exponential"
+    bandwidth_efficiency: float = 1.0
+    correlation: str = "independent"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "model", ExecutionModel.coerce(self.model))
+        if self.n_datasets < 1:
+            raise ValueError("n_datasets must be >= 1")
+
+    def with_datasets(self, n_datasets: int) -> "ReplicationSpec":
+        """A copy of the spec at a different workload size."""
+        return replace(self, n_datasets=n_datasets)
+
+    def __call__(self, rng: np.random.Generator) -> SimulationResult:
+        return simulate_system(
+            self.mapping,
+            self.model,
+            n_datasets=self.n_datasets,
+            law=self.law,
+            rng=rng,
+            bandwidth_efficiency=self.bandwidth_efficiency,
+            correlation=self.correlation,
+        )
+
+    def simulate_batch(
+        self, rngs: Sequence[np.random.Generator]
+    ) -> BatchSimulationResult:
+        """All replications in one vectorized recurrence pass."""
+        return simulate_system_batch(
+            self.mapping,
+            self.model,
+            n_datasets=self.n_datasets,
+            rngs=rngs,
+            law=self.law,
+            bandwidth_efficiency=self.bandwidth_efficiency,
+            correlation=self.correlation,
+        )
 
 
 @dataclass(frozen=True)
@@ -50,13 +131,68 @@ def _replication_value(
     )
 
 
-def replicate(
-    run: Callable[[np.random.Generator], SimulationResult],
+def _resolve_engine(run, engine: str) -> bool:
+    """Whether to use the batch kernel; raises on impossible requests."""
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; available: {', '.join(ENGINES)}"
+        )
+    batchable = isinstance(run, ReplicationSpec)
+    if engine == "vectorized" and not batchable:
+        raise ValueError(
+            "engine='vectorized' needs a ReplicationSpec; an opaque "
+            "callable can only run through engine='loop' (or 'auto', "
+            "which falls back to it)"
+        )
+    return batchable and engine != "loop"
+
+
+def _check_common(n_replications: int, estimator: str) -> None:
+    if n_replications < 1:
+        raise ValueError("n_replications must be >= 1")
+    if estimator not in ESTIMATORS:
+        raise ValueError(
+            f"unknown estimator {estimator!r}; "
+            f"available: {', '.join(ESTIMATORS)}"
+        )
+
+
+def replication_values(
+    run: Callable[[np.random.Generator], SimulationResult] | ReplicationSpec,
     *,
     n_replications: int,
-    seed: int = 0,
+    seed: int | Sequence[int] = 0,
+    estimator: str = "total",
+    engine: str = "auto",
+) -> np.ndarray:
+    """Per-replication throughput estimates, shape ``(n_replications,)``.
+
+    The engine-equivalence contract lives here: for the same ``seed`` the
+    returned vector is byte-identical between ``engine="loop"`` and
+    ``engine="vectorized"``. :func:`replicate` folds this vector into a
+    :class:`ReplicationSummary`; tests and benchmarks compare it raw.
+    """
+    _check_common(n_replications, estimator)
+    vectorized = _resolve_engine(run, engine)
+    streams = np.random.default_rng(seed).spawn(n_replications)
+    if vectorized:
+        batch = run.simulate_batch(streams)
+        if estimator == "total":
+            return batch.throughput()
+        return batch.steady_state_throughput()
+    return np.array(
+        [_replication_value(run, estimator, rng) for rng in streams]
+    )
+
+
+def replicate(
+    run: Callable[[np.random.Generator], SimulationResult] | ReplicationSpec,
+    *,
+    n_replications: int,
+    seed: int | Sequence[int] = 0,
     estimator: str = "total",
     n_jobs: int = 1,
+    engine: str = "auto",
 ) -> ReplicationSummary:
     """Run ``n_replications`` independent simulations and summarize.
 
@@ -64,39 +200,55 @@ def replicate(
     streams). ``estimator`` selects ``"total"`` (paper's completed/total
     time) or ``"steady"`` (warm-up discarded).
 
-    ``n_jobs > 1`` fans the replications out over a process pool. The
-    streams are already independent and the per-replication estimates are
-    folded into the summary in stream order regardless of completion
-    order, so the result is bit-identical to a serial run with the same
-    seed. ``run`` must be picklable (a module-level function or
-    ``functools.partial`` thereof) to cross the process boundary; a
+    ``engine`` selects the execution strategy — ``"vectorized"`` batches
+    every replication through one numpy recurrence pass (requires ``run``
+    to be a :class:`ReplicationSpec`), ``"loop"`` forces one simulation
+    per replication, and ``"auto"`` vectorizes whenever it can. The
+    per-replication estimates are folded into the summary in stream
+    order, so every engine (and any ``n_jobs``) yields a bit-identical
+    summary for the same seed.
+
+    On the loop engine, ``n_jobs > 1`` fans the replications out over a
+    process pool; ``run`` must then be picklable (a module-level function,
+    a ``functools.partial`` thereof, or a :class:`ReplicationSpec`) to
+    cross the process boundary. The pickling probe only runs on that
+    parallel path — a serial or vectorized call never pays it — and a
     non-picklable callable falls back to serial execution with a warning.
     """
-    if n_replications < 1:
-        raise ValueError("n_replications must be >= 1")
+    _check_common(n_replications, estimator)
     if n_jobs < 1:
         raise ValueError("n_jobs must be >= 1")
-    streams = np.random.default_rng(seed).spawn(n_replications)
-    n_jobs = min(n_jobs, n_replications)
-    if n_jobs > 1 and not _picklable(run):
-        warnings.warn(
-            "replicate(): `run` is not picklable; falling back to serial "
-            "execution (pass a module-level function or functools.partial "
-            "to enable n_jobs)",
-            RuntimeWarning,
-            stacklevel=2,
+    vectorized = _resolve_engine(run, engine)
+    if vectorized:
+        values: Sequence[float] = replication_values(
+            run,
+            n_replications=n_replications,
+            seed=seed,
+            estimator=estimator,
+            engine="vectorized",
         )
-        n_jobs = 1
-    worker = partial(_replication_value, run, estimator)
-    if n_jobs > 1:
-        chunksize = max(1, n_replications // (4 * n_jobs))
-        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-            values = list(pool.map(worker, streams, chunksize=chunksize))
     else:
-        values = [worker(rng) for rng in streams]
+        streams = np.random.default_rng(seed).spawn(n_replications)
+        n_jobs = min(n_jobs, n_replications)
+        worker = partial(_replication_value, run, estimator)
+        if n_jobs > 1 and not _picklable(run):
+            warnings.warn(
+                "replicate(): `run` is not picklable; falling back to serial "
+                "execution (pass a module-level function, functools.partial "
+                "or ReplicationSpec to enable n_jobs)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            n_jobs = 1
+        if n_jobs > 1:
+            chunksize = max(1, n_replications // (4 * n_jobs))
+            with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+                values = list(pool.map(worker, streams, chunksize=chunksize))
+        else:
+            values = [worker(rng) for rng in streams]
     stats = OnlineStats()
     for value in values:
-        stats.push(value)
+        stats.push(float(value))
     return ReplicationSummary(
         n_replications=n_replications,
         mean=stats.mean,
@@ -115,8 +267,18 @@ def _picklable(obj) -> bool:
     return True
 
 
+def _dataset_count(value) -> int:
+    """An integral data-set count — integers only, never truncated."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(
+            f"dataset_counts entries must be integers, got {value!r}"
+        )
+    return int(value)
+
+
 def throughput_vs_datasets(
-    run: Callable[[np.random.Generator, int], SimulationResult],
+    run: Callable[[np.random.Generator, int], SimulationResult]
+    | ReplicationSpec,
     dataset_counts: Sequence[int],
     *,
     seed: int = 0,
@@ -126,10 +288,22 @@ def throughput_vs_datasets(
     Simulates once at ``max(dataset_counts)`` and reuses the completion
     prefix for the smaller counts (exactly how a single long run would be
     inspected over time), yielding the Fig. 10 convergence series.
+
+    ``dataset_counts`` must hold integers (numpy integer scalars are
+    fine); a float count is rejected instead of silently truncated, and
+    all validation happens before ``run`` is invoked. ``run`` may be a
+    ``(rng, n) -> SimulationResult`` callable or a
+    :class:`ReplicationSpec`, whose workload size is swept.
     """
-    counts = sorted(set(int(c) for c in dataset_counts))
+    counts = sorted({_dataset_count(c) for c in dataset_counts})
     if not counts or counts[0] < 1:
         raise ValueError("dataset_counts must contain positive integers")
+    if isinstance(run, ReplicationSpec):
+        spec = run
+
+        def run(rng, n, _spec=spec):
+            return _spec.with_datasets(n)(rng)
+
     rng = np.random.default_rng(seed)
     result = run(rng, counts[-1])
     return [(k, result.throughput_after(k)) for k in counts]

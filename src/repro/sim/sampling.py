@@ -78,3 +78,13 @@ class SampleBuffer:
     def draw_block(self, n: int) -> np.ndarray:
         """Draw ``n`` samples at once (bypasses the FIFO buffer)."""
         return np.asarray(self._dist.sample(self._rng, n), dtype=float)
+
+    def draw_blocks(self, n_blocks: int, size: int) -> np.ndarray:
+        """Draw an ``(n_blocks, size)`` matrix in one generator call.
+
+        The underlying stream is consumed exactly as ``n_blocks * size``
+        flat draws would consume it (row-major), so callers can switch
+        between the flat and the blocked API without changing the sample
+        sequence.
+        """
+        return self.draw_block(n_blocks * size).reshape(n_blocks, size)

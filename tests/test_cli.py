@@ -56,6 +56,28 @@ class TestBenchGuard:
             main(["bench", "--quick", "--output", str(target)])
         assert exc.value.code == 2
 
+    def test_workloads_filter_runs_subset(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "bench.json"
+        assert main(
+            ["bench", "--quick", "--workloads", "maxplus",
+             "--output", str(target)]
+        ) == 0
+        capsys.readouterr()
+        report = json.loads(target.read_text())
+        assert list(report["engines"]) == ["maxplus.matmul"]
+        assert report["speedups"] == {}
+        assert report["meta"]["workloads"] == ["maxplus"]
+
+    def test_workloads_filter_rejects_no_match(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(
+                ["bench", "--quick", "--workloads", "nonesuch",
+                 "--output", str(tmp_path / "b.json")]
+            )
+        assert exc.value.code == 2
+
 
 class TestCampaign:
     def test_run_status_report_resume(self, tmp_path, capsys):
