@@ -11,7 +11,10 @@ loopback socket with :class:`repro.service.ServiceClient`:
 4. a simulated *restart*: a brand-new server on the same tier-2 disk
    cache still answers with 0 evaluator runs;
 5. a poisoned request, which comes back as a structured failure record
-   while the service keeps running.
+   while the service keeps running;
+6. a *faulty* server (injected dropped replies) transparently absorbed
+   by the client's :class:`repro.service.RetryPolicy` — the operator's
+   ``stats`` view shows the faults that fired.
 
 Run with::
 
@@ -27,6 +30,8 @@ from repro.campaign import expand, get_preset, unit_task_payload
 from repro.service import (
     DiskScoreCache,
     EvaluationEngine,
+    FaultInjector,
+    RetryPolicy,
     ServiceClient,
     serve_in_thread,
 )
@@ -89,6 +94,25 @@ def main() -> None:
             print(
                 f"after restart: executed={stats['executed']}, "
                 f"disk hits={stats['disk_hits']}"
+            )
+        stop_server(engine, server, thread)
+
+        # A faulty server: the first two replies are dropped on the
+        # floor, and the retrying client never notices (the retried
+        # work is absorbed by the caches, not recomputed).
+        faults = FaultInjector({"drop": 2})
+        # One shared budget: the server consumes drop/delay faults, the
+        # engine crash/torn_tail — exactly how `repro.cli serve` wires it.
+        engine = EvaluationEngine(disk=DiskScoreCache(cache_path), faults=faults)
+        server, thread = serve_in_thread(engine, faults=faults)
+        policy = RetryPolicy(max_attempts=4, base_delay=0.05, seed=0)
+        with ServiceClient(*server.endpoint, retry=policy) as client:
+            rho = client.solve("example_a", solver="deterministic")
+            stats = client.stats()
+            print(
+                f"under faults: solve example_a = {rho:.6g} "
+                f"after {client.retries} retries "
+                f"(faults fired: {stats['counters']['faults']['fired']})"
             )
         stop_server(engine, server, thread)
 

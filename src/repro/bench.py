@@ -36,7 +36,12 @@ Benchmarked engines:
   batch against an empty tier-2 disk cache, the same batch against a
   freshly *restarted* server on the populated cache (which must execute
   0 evaluator runs), and N concurrent identical submissions (which must
-  coalesce into exactly 1 evaluator run).
+  coalesce into exactly 1 evaluator run);
+* ``service.overload`` — a synchronized burst of M distinct requests
+  against a ``capacity=2`` server: shed requests get their structured
+  ``overloaded`` rejection instantly (that's the p50), admitted ones
+  pay the evaluation (the p99); the shed rate and both latency
+  percentiles quantify the load-shedding contract.
 
 ``run_benchmarks(workloads=[...])`` (CLI: ``bench --workloads``) filters
 the suite by substring match on the engine names above, so a single
@@ -532,6 +537,81 @@ def run_benchmarks(
         engines["service.coalesced"] = {
             "median_s": co_t, "n_clients": n_clients,
             "executed": co["executed"], "coalesced": co["coalesced"],
+        }
+
+    if _want("service.overload"):
+        from repro.exceptions import ServiceOverloaded
+
+        n_burst = 8 if quick else 16
+        overload_capacity = 2
+        overload_nd = 500 if quick else 3000
+
+        def _overload_task(i: int) -> dict:
+            # Distinct seeds → distinct digests: neither the coalescing
+            # queue nor the memo may absorb the burst, every admitted
+            # request is real work and every excess one must be shed.
+            return {
+                "system": {
+                    "kind": "single_communication",
+                    "params": {"u": 3, "v": 3},
+                },
+                "solver": "simulation", "model": "overlap",
+                "options": {"n_datasets": overload_nd, "seed": 100 + i},
+            }
+
+        def _service_overload() -> dict:
+            """Burst M > capacity; record shed count and per-request latency."""
+            engine = EvaluationEngine()
+            server, thread = serve_in_thread(
+                engine, capacity=overload_capacity, retry_after=0.05
+            )
+            barrier = threading.Barrier(n_burst)
+            latencies = [0.0] * n_burst
+            accepted = [False] * n_burst
+
+            def _one_client(i: int) -> None:
+                # No retry policy: a shed request records its instant
+                # rejection, not a masked second attempt.
+                with ServiceClient(*server.endpoint, retry=None) as client:
+                    client.ping()  # connect before the synchronized burst
+                    barrier.wait()
+                    t0 = time.perf_counter()
+                    try:
+                        client.evaluate(_overload_task(i))
+                        accepted[i] = True
+                    except ServiceOverloaded:
+                        pass
+                    latencies[i] = time.perf_counter() - t0
+
+            try:
+                workers = [
+                    threading.Thread(target=_one_client, args=(i,))
+                    for i in range(n_burst)
+                ]
+                for w in workers:
+                    w.start()
+                for w in workers:
+                    w.join()
+                return {
+                    "shed": server.shed,
+                    "accepted": sum(accepted),
+                    "latencies": latencies,
+                }
+            finally:
+                server.shutdown()
+                server.server_close()
+                engine.close()
+                thread.join()
+
+        ov_t, ov = _timed(_service_overload, max(1, repeats // 2))
+        lat = np.asarray(ov["latencies"])
+        engines["service.overload"] = {
+            "median_s": ov_t, "n_clients": n_burst,
+            "capacity": overload_capacity,
+            "accepted": ov["accepted"], "shed": ov["shed"],
+            "shed_rate": ov["shed"] / n_burst,
+            "p50_s": float(np.percentile(lat, 50)),
+            "p99_s": float(np.percentile(lat, 99)),
         }
 
     if not engines:

@@ -32,7 +32,12 @@ from repro.campaign.store import ResultStore
 from repro.evaluate.batch import evaluate_tasks
 from repro.evaluate.cache import StructureCache
 from repro.evaluate.solvers import get_solver
-from repro.exceptions import CampaignError, ServiceError
+from repro.exceptions import (
+    CampaignError,
+    ServiceError,
+    ServiceOverloaded,
+    ServiceTimeout,
+)
 from repro.experiments.common import ExperimentResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -215,14 +220,26 @@ def _run_chunk_via_service(
     """Score one chunk through a running service; failures abort the run.
 
     The store only ever holds completed scores, so a unit the service
-    could not evaluate (or a dead server) surfaces as
-    :class:`CampaignError` — everything already appended resumes
-    cleanly, exactly like a local crash.
+    could not evaluate (or a dead server, a blown deadline, an
+    exhausted retry budget) surfaces as :class:`CampaignError` —
+    everything already appended resumes cleanly, exactly like a local
+    crash. The client's retry policy has already absorbed transient
+    faults by the time an exception reaches this frame.
     """
     try:
         values, failures, _stats = client.evaluate_batch(
             [unit_task_payload(u) for u in chunk]
         )
+    except ServiceOverloaded as exc:
+        raise CampaignError(
+            f"service execution failed: server overloaded and retries "
+            f"exhausted ({exc}); rerun to resume from the store"
+        ) from None
+    except ServiceTimeout as exc:
+        raise CampaignError(
+            f"service execution failed: deadline exceeded ({exc}); "
+            "raise --request-timeout or rerun to resume from the store"
+        ) from None
     except ServiceError as exc:
         raise CampaignError(f"service execution failed: {exc}") from None
     if failures:

@@ -15,16 +15,20 @@ Usage::
     python -m repro.cli campaign status --preset smoke --store campaign.jsonl
     python -m repro.cli campaign report --store campaign.jsonl
     python -m repro.cli serve --port 7781 --cache service_cache.jsonl
+    python -m repro.cli serve --port 7781 --capacity 8 --retry-after 0.5
+    python -m repro.cli serve --port 7781 --faults drop:2,crash:1   # chaos
     python -m repro.cli submit --port 7781 --preset smoke
     python -m repro.cli ping --port 7781
+    python -m repro.cli stats --port 7781
     python -m repro.cli shutdown --port 7781
     python -m repro.cli bench --quick --output BENCH_PR4.json
     python -m repro.cli bench --workloads replication --output rep.json
 
 Exit-code contract of the service probes (for CI and operators):
-``ping`` exits 0 when a server answers on the endpoint and 1 when none
-does; ``submit`` exits 0 when every unit scored and 1 when any failed;
-``shutdown`` exits 0 once the server acknowledged, 1 if unreachable.
+``ping``/``stats`` exit 0 when a server answers on the endpoint and 1
+when none does; ``submit`` exits 0 when every unit scored and 1 when
+any failed; ``shutdown`` exits 0 once the server acknowledged, 1 if
+unreachable.
 """
 
 from __future__ import annotations
@@ -136,12 +140,31 @@ _SUBMIT_CHUNK = 256
 
 
 def _cmd_serve(args, parser) -> int:
-    from repro.service import DiskScoreCache, EvaluationEngine, ServiceServer
+    from repro.exceptions import ServiceError
+    from repro.service import (
+        DiskScoreCache,
+        EvaluationEngine,
+        FaultInjector,
+        ServiceServer,
+    )
 
     if args.n_jobs < 1:
         parser.error("--n-jobs must be >= 1")
     if args.max_entries is not None and args.max_entries < 1:
         parser.error("--max-entries must be >= 1")
+    if args.capacity is not None and args.capacity < 1:
+        parser.error("--capacity must be >= 1")
+    if args.retry_after <= 0:
+        parser.error("--retry-after must be > 0")
+    if args.max_pool_restarts < 0:
+        parser.error("--max-pool-restarts must be >= 0")
+    try:
+        if args.faults:
+            faults = FaultInjector.from_spec(args.faults)
+        else:
+            faults = FaultInjector.from_env()
+    except ServiceError as exc:
+        parser.error(str(exc))
     disk = None
     if args.cache:
         from repro.exceptions import CampaignError
@@ -151,10 +174,21 @@ def _cmd_serve(args, parser) -> int:
         except (CampaignError, OSError) as exc:
             parser.error(str(exc))
     engine = EvaluationEngine(
-        n_jobs=args.n_jobs, disk=disk, max_entries=args.max_entries
+        n_jobs=args.n_jobs,
+        disk=disk,
+        max_entries=args.max_entries,
+        max_pool_restarts=args.max_pool_restarts,
+        faults=faults,
     )
     try:
-        server = ServiceServer(engine, host=args.host, port=args.port)
+        server = ServiceServer(
+            engine,
+            host=args.host,
+            port=args.port,
+            capacity=args.capacity,
+            retry_after=args.retry_after,
+            faults=faults,
+        )
     except OSError as exc:
         parser.error(f"cannot bind {args.host}:{args.port}: {exc}")
     host, port = server.endpoint
@@ -162,7 +196,11 @@ def _cmd_serve(args, parser) -> int:
         server.write_ready_file(args.ready_file)
     print(f"serving    : {host}:{port}")
     print(f"cache      : {args.cache or '(memory only)'}")
-    print(f"n-jobs     : {args.n_jobs}", flush=True)
+    print(f"n-jobs     : {args.n_jobs}")
+    print(f"capacity   : {args.capacity or '(unbounded)'}")
+    if faults is not None:
+        print(f"faults     : {faults!r}")
+    sys.stdout.flush()
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive only
@@ -179,9 +217,16 @@ def _cmd_serve(args, parser) -> int:
 
 
 def _service_client(args):
-    from repro.service import ServiceClient
+    from repro.service import RetryPolicy, ServiceClient
 
-    return ServiceClient(args.host, args.port, timeout=args.timeout)
+    retries = getattr(args, "retries", 1)
+    return ServiceClient(
+        args.host,
+        args.port,
+        connect_timeout=args.timeout,
+        timeout=getattr(args, "request_timeout", None),
+        retry=RetryPolicy(max_attempts=retries) if retries > 1 else None,
+    )
 
 
 def _cmd_ping(args, parser) -> int:
@@ -197,7 +242,12 @@ def _cmd_ping(args, parser) -> int:
         # Pure-JSON mode: nothing else on stdout, pipeable to jq.
         print(
             json.dumps(
-                {"version": reply["version"], "counters": reply["counters"]},
+                {
+                    "version": reply["version"],
+                    "uptime_s": reply["uptime_s"],
+                    "in_flight": reply["in_flight"],
+                    "counters": reply["counters"],
+                },
                 indent=2,
                 sort_keys=True,
             )
@@ -205,6 +255,9 @@ def _cmd_ping(args, parser) -> int:
         return 0
     print(f"service    : {args.host}:{args.port}")
     print(f"version    : {reply['version']}")
+    uptime = reply.get("uptime_s")
+    if uptime is not None:
+        print(f"uptime     : {uptime:.1f}s, {reply.get('in_flight')} in flight")
     counters = reply["counters"]
     totals = counters["requests"]
     cache = counters["structure_cache"]
@@ -230,6 +283,28 @@ def _cmd_ping(args, parser) -> int:
             f"disk cache : {disk['entries']} entries, {disk['hits']} hits, "
             f"{disk['dropped_lines']} dropped lines"
         )
+    pool = counters.get("pool")
+    if pool:
+        degraded = ", DEGRADED to serial" if pool.get("degraded") else ""
+        print(
+            f"pool       : {pool['n_jobs']} jobs, "
+            f"{pool['restarts']}/{pool['max_restarts']} restarts{degraded}"
+        )
+    return 0
+
+
+def _cmd_stats(args, parser) -> int:
+    from repro.exceptions import ServiceError
+
+    try:
+        with _service_client(args) as client:
+            stats = client.stats()
+    except ServiceError as exc:
+        print(f"stats failed: {exc}", file=sys.stderr)
+        return 1
+    # Always pure JSON: this is the operator/CI introspection surface,
+    # meant for jq/grep (admission depth, shed count, pool restarts).
+    print(json.dumps(stats, indent=2, sort_keys=True))
     return 0
 
 
@@ -410,13 +485,24 @@ def _cmd_campaign(args, parser) -> int:
     client = None
     if args.via_service:
         from repro.exceptions import ServiceError
-        from repro.service import ServiceClient, parse_endpoint
+        from repro.service import RetryPolicy, ServiceClient, parse_endpoint
 
+        if args.retries < 1:
+            parser.error("--retries must be >= 1")
         try:
             host, port = parse_endpoint(args.via_service)
         except ServiceError as exc:
             parser.error(str(exc))
-        client = ServiceClient(host, port, timeout=args.service_timeout)
+        client = ServiceClient(
+            host,
+            port,
+            connect_timeout=args.service_timeout,
+            timeout=args.request_timeout,
+            retry=(
+                RetryPolicy(max_attempts=args.retries)
+                if args.retries > 1 else None
+            ),
+        )
     try:
         summary = run_campaign(
             spec, store, n_jobs=args.n_jobs, resume=args.resume, client=client
@@ -554,7 +640,19 @@ def main(argv: list[str] | None = None) -> int:
     crun.add_argument(
         "--service-timeout", type=float, default=10.0,
         help="connect timeout for --via-service in seconds; established "
-        "chunks wait however long evaluation takes (default: %(default)s)",
+        "chunks wait however long evaluation takes unless "
+        "--request-timeout caps them (default: %(default)s)",
+    )
+    crun.add_argument(
+        "--request-timeout", type=float, default=None,
+        help="per-chunk deadline for --via-service in seconds "
+        "(default: wait however long evaluation takes)",
+    )
+    crun.add_argument(
+        "--retries", type=int, default=3,
+        help="attempts per --via-service chunk for transient faults "
+        "(timeouts, dropped connections, overload); 1 disables retries "
+        "(default: %(default)s)",
     )
     creport.add_argument(
         "--campaign", default=None,
@@ -596,10 +694,36 @@ def main(argv: list[str] | None = None) -> int:
         help="write {host, port, pid} JSON here once listening "
         "(for scripts that launched the server in the background)",
     )
+    servep.add_argument(
+        "--capacity", type=int, default=None,
+        help="max concurrently dispatched work requests; arrivals past it "
+        "are shed instantly with a structured 'overloaded' reply "
+        "(default: unbounded)",
+    )
+    servep.add_argument(
+        "--retry-after", type=float, default=1.0,
+        help="back-off hint in seconds carried by shed replies "
+        "(default: %(default)s)",
+    )
+    servep.add_argument(
+        "--max-pool-restarts", type=int, default=3,
+        help="worker-pool rebuilds after crashes before the engine "
+        "degrades to in-process serial evaluation (default: %(default)s)",
+    )
+    servep.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="fault-injection spec, e.g. 'drop:2,crash:1,delay:1:0.5' "
+        "(chaos testing; default: the REPRO_FAULTS environment variable)",
+    )
 
     pingp = sub.add_parser(
         "ping",
         help="probe a running service (exit 0: alive, 1: unreachable)",
+    )
+    statsp = sub.add_parser(
+        "stats",
+        help="dump a running service's admission/shedding/pool statistics "
+        "as JSON (exit 0: alive, 1: unreachable)",
     )
     submitp = sub.add_parser(
         "submit",
@@ -609,14 +733,25 @@ def main(argv: list[str] | None = None) -> int:
     shutdownp = sub.add_parser(
         "shutdown", help="stop a running service cleanly"
     )
-    for sp in (pingp, submitp, shutdownp):
+    for sp in (pingp, statsp, submitp, shutdownp):
         sp.add_argument("--host", default=DEFAULT_HOST)
         sp.add_argument("--port", type=int, default=DEFAULT_PORT)
         sp.add_argument(
             "--timeout", type=float, default=10.0,
             help="connect timeout in seconds; established requests wait "
-            "for the server however long the batch takes "
-            "(default: %(default)s)",
+            "for the server however long the batch takes unless "
+            "--request-timeout caps them (default: %(default)s)",
+        )
+        sp.add_argument(
+            "--request-timeout", type=float, default=None,
+            help="per-request deadline in seconds; a hung server raises "
+            "ServiceTimeout at the deadline "
+            "(default: wait however long evaluation takes)",
+        )
+        sp.add_argument(
+            "--retries", type=int, default=3,
+            help="attempts per request for transient faults; shutdown is "
+            "never retried; 1 disables retries (default: %(default)s)",
         )
     pingp.add_argument(
         "--json", action="store_true",
@@ -697,6 +832,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_serve(args, parser)
     if args.command == "ping":
         return _cmd_ping(args, parser)
+    if args.command == "stats":
+        return _cmd_stats(args, parser)
     if args.command == "submit":
         return _cmd_submit(args, parser)
     if args.command == "shutdown":

@@ -71,7 +71,46 @@ class ServiceError(ReproError):
     connection died mid-exchange, a malformed frame) and for error
     replies (unknown operation, a request the server rejected); raised
     server-side when a request payload fails validation.
+
+    The subclasses below form the retry taxonomy: callers that catch
+    them can distinguish "retry later" (:class:`ServiceTimeout`,
+    :class:`ServiceUnavailable`, :class:`ServiceOverloaded` — all
+    transient, all safe to retry for idempotent operations) from
+    "give up" (a bare :class:`ServiceError`: a malformed request or a
+    server-side rejection that a retry would only repeat).
     """
+
+
+class ServiceTimeout(ServiceError):
+    """A request exceeded its deadline waiting for the server's reply.
+
+    The connection is closed by the client when this is raised, so a
+    retry starts from a fresh connect — a hung server thread can never
+    strand the caller past its deadline.
+    """
+
+
+class ServiceUnavailable(ServiceError):
+    """No server answered, or the connection died mid-exchange.
+
+    Covers refused connects (nothing listening), resets, and a peer
+    that closed the connection before replying. Idempotent requests are
+    safe to retry: the service's coalescing queue and caches dedupe any
+    work the lost reply already paid for.
+    """
+
+
+class ServiceOverloaded(ServiceError):
+    """The server shed the request at admission (queue at capacity).
+
+    Carries the server's ``retry_after`` hint (seconds) so callers can
+    back off for at least that long before retrying instead of hammering
+    an already-saturated daemon.
+    """
+
+    def __init__(self, message: str, *, retry_after: float | None = None) -> None:
+        self.retry_after = retry_after
+        super().__init__(message)
 
 
 class CampaignError(ReproError):

@@ -14,14 +14,22 @@ over a loopback socket:
   concurrent requests cost one evaluator run and get N replies;
 * :mod:`repro.service.workers` — the :class:`EvaluationEngine`: one
   long-lived (optionally LRU-bounded) :class:`StructureCache`, one
-  persistent process pool, per-task failure isolation;
+  persistent process pool with crash recovery (bounded restart budget,
+  degrade-to-serial past it), per-task failure isolation;
+* :mod:`repro.service.faults` — deterministic counted fault injection
+  (dropped replies, delays, worker crashes, torn cache tails) behind
+  the chaos tests and ``repro.cli serve --faults``;
 * :mod:`repro.service.server` / :mod:`repro.service.client` — the
-  daemon and the client library behind ``repro.cli
-  serve/submit/ping/shutdown`` and ``campaign run --via-service``.
+  daemon (bounded admission, load shedding with ``retry_after``,
+  graceful drain) and the client library (per-request deadlines,
+  retry with exponential backoff) behind ``repro.cli
+  serve/submit/ping/stats/shutdown`` and ``campaign run
+  --via-service``.
 """
 
-from repro.service.client import ServiceClient, wait_for_service
+from repro.service.client import RetryPolicy, ServiceClient, wait_for_service
 from repro.service.diskcache import DiskScoreCache, score_digest
+from repro.service.faults import FaultInjector
 from repro.service.protocol import (
     DEFAULT_HOST,
     DEFAULT_PORT,
@@ -37,6 +45,8 @@ __all__ = [
     "CoalescingQueue",
     "DiskScoreCache",
     "EvaluationEngine",
+    "FaultInjector",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceServer",
     "normalize_task",

@@ -62,6 +62,22 @@ def error_reply(message: str, *, error_type: str = "ServiceError") -> dict:
     return {"ok": False, "error": message, "error_type": error_type}
 
 
+def overloaded_reply(message: str, *, retry_after: float) -> dict:
+    """The structured load-shedding frame.
+
+    ``error_type`` names :class:`~repro.exceptions.ServiceOverloaded`
+    so the client re-raises the typed exception, and ``retry_after``
+    (seconds) tells the caller how long to back off before retrying —
+    the admission queue's contract: reject instantly, never hang.
+    """
+    return {
+        "ok": False,
+        "error": message,
+        "error_type": "ServiceOverloaded",
+        "retry_after": retry_after,
+    }
+
+
 def parse_endpoint(
     endpoint: str, *, default_host: str = DEFAULT_HOST
 ) -> tuple[str, int]:

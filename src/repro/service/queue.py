@@ -55,10 +55,17 @@ class CoalescingQueue:
         whichever the leader produced. The key is removed *before* the
         future is set, so a new request arriving after a failure starts a
         fresh computation instead of inheriting the stale one.
+
+        Idempotent: a key already resolved is left alone, so a leader's
+        failure handler can sweep *every* claimed key without tracking
+        which ones the happy path already published (double-resolving a
+        future would raise ``InvalidStateError`` and strand the rest of
+        the sweep).
         """
         with self._lock:
             self._inflight.pop(key, None)
-        future.set_result(value)
+        if not future.done():
+            future.set_result(value)
 
     def in_flight(self) -> int:
         with self._lock:

@@ -5,14 +5,27 @@ no new dependencies): each connection gets a handler thread that reads
 newline-delimited JSON requests and answers them through the shared
 :class:`~repro.service.workers.EvaluationEngine`. Supported operations:
 
-* ``ping`` — liveness probe; replies with the package version and the
-  engine/cache/queue counters;
+* ``ping`` — liveness probe; replies with the package version, uptime,
+  the number of in-flight requests and the engine/cache/queue counters;
+* ``stats`` — the operator's view: admission-queue depth and capacity,
+  shed count, retry-after hint, pool restart counters, fault budgets;
 * ``evaluate`` — score one wire-format task (``solve`` is the
   named-system convenience form of the same thing);
 * ``batch`` — score a list of tasks (the campaign runner's chunk shape);
 * ``search`` — run the multi-start mapping search server-side, on the
   shared structure cache;
 * ``shutdown`` — reply, then stop the server loop cleanly.
+
+Admission is bounded: with ``capacity=N`` at most N work requests are
+dispatched at once, and any further arrival is *shed* immediately with
+a structured ``overloaded`` reply carrying a ``retry_after`` hint —
+the server never queues unboundedly and never hangs a caller. Control
+operations (``ping``, ``stats``, ``shutdown``) bypass admission so an
+overloaded or draining server can still be observed and stopped.
+Shutdown is graceful: once a ``shutdown`` frame is accepted the server
+stops admitting work (new requests are shed as overloaded) but every
+already-dispatched request sends its reply before the engine is torn
+down.
 
 The server binds loopback by default and speaks an unauthenticated
 protocol: it is a local evaluation accelerator, not an internet
@@ -25,18 +38,29 @@ import json
 import os
 import socketserver
 import threading
+import time
 
 from repro._version import __version__
 from repro.evaluate.batch import TaskFailure
 from repro.exceptions import ServiceError
+from repro.service.faults import FaultInjector
 from repro.service.protocol import (
     DEFAULT_HOST,
     DEFAULT_PORT,
     error_reply,
+    overloaded_reply,
     recv_frame,
     send_frame,
 )
 from repro.service.workers import EvaluationEngine
+
+#: Operations admitted even when the server is saturated or draining —
+#: the observe-and-stop plane must stay reachable exactly when the
+#: work plane is refusing traffic.
+CONTROL_OPS = frozenset({"ping", "stats", "shutdown"})
+
+#: Default ``retry_after`` hint (seconds) in shed replies.
+DEFAULT_RETRY_AFTER = 1.0
 
 
 def _jsonify_results(results: list) -> tuple[list, list[dict]]:
@@ -66,9 +90,28 @@ def handle_request(server: "ServiceServer", payload: dict) -> tuple[dict, bool]:
                 "ok": True,
                 "op": "ping",
                 "version": __version__,
+                "uptime_s": server.uptime_s,
+                "in_flight": server.in_flight,
+                "counters": engine.status(),
+            }, False
+        if op == "stats":
+            return {
+                "ok": True,
+                "op": "stats",
+                "version": __version__,
+                "uptime_s": server.uptime_s,
+                "in_flight": server.in_flight,
+                "shed": server.shed,
+                "capacity": server.capacity,
+                "retry_after": server.retry_after,
+                "stopping": server.stopping,
                 "counters": engine.status(),
             }, False
         if op == "shutdown":
+            # Flip the admission gate first: requests racing the drain
+            # are shed with a structured reply instead of being half
+            # served against a closing engine.
+            server.begin_shutdown()
             return {"ok": True, "op": "shutdown"}, True
         if op in ("evaluate", "solve"):
             if op == "solve":
@@ -112,7 +155,7 @@ def handle_request(server: "ServiceServer", payload: dict) -> tuple[dict, bool]:
             return {"ok": True, "op": "search", **engine.run_search(params)}, False
         raise ServiceError(
             f"unknown op {op!r}; supported: "
-            "ping, evaluate, solve, batch, search, shutdown"
+            "ping, stats, evaluate, solve, batch, search, shutdown"
         )
     except ServiceError as exc:
         return error_reply(str(exc)), False
@@ -124,6 +167,7 @@ class _RequestHandler(socketserver.StreamRequestHandler):
     """One connection: a loop of request frames until EOF or shutdown."""
 
     def handle(self) -> None:  # pragma: no cover - exercised via sockets
+        server: "ServiceServer" = self.server
         while True:
             try:
                 payload = recv_frame(self.rfile)
@@ -135,20 +179,41 @@ class _RequestHandler(socketserver.StreamRequestHandler):
                 return
             if payload is None:
                 return
-            self.server._begin_request()
+            op = payload.get("op")
+            if not server.try_begin_request(op):
+                reason = (
+                    "draining for shutdown" if server.stopping
+                    else f"at capacity ({server.capacity} requests in flight)"
+                )
+                try:
+                    send_frame(self.wfile, overloaded_reply(
+                        f"evaluation service {reason}",
+                        retry_after=server.retry_after,
+                    ))
+                except OSError:
+                    return
+                continue
             try:
-                reply, stop = handle_request(self.server, payload)
+                reply, stop = handle_request(server, payload)
+                faults = server.faults
+                if faults is not None and op != "shutdown":
+                    # Chaos hooks, post-work: a delayed reply must trip
+                    # the client's deadline, a dropped one its retry —
+                    # and the retry must be absorbed by the caches.
+                    faults.sleep_if_delayed()
+                    if faults.take("drop"):
+                        return
                 try:
                     send_frame(self.wfile, reply)
                 except OSError:
                     return
             finally:
-                self.server._end_request()
+                server._end_request()
             if stop:
                 # shutdown() blocks until serve_forever() returns, and
                 # must not be called from the serving thread itself.
                 threading.Thread(
-                    target=self.server.shutdown, daemon=True
+                    target=server.shutdown, daemon=True
                 ).start()
                 return
 
@@ -165,8 +230,24 @@ class ServiceServer(socketserver.ThreadingTCPServer):
         *,
         host: str = DEFAULT_HOST,
         port: int = DEFAULT_PORT,
+        capacity: int | None = None,
+        retry_after: float = DEFAULT_RETRY_AFTER,
+        faults: FaultInjector | None = None,
     ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ServiceError(f"capacity must be >= 1, got {capacity}")
+        if retry_after <= 0:
+            raise ServiceError(f"retry_after must be > 0, got {retry_after}")
         self.engine = engine
+        #: Max concurrently dispatched work requests (``None`` = unbounded).
+        self.capacity = capacity
+        #: Back-off hint (seconds) carried by every shed reply.
+        self.retry_after = float(retry_after)
+        self.faults = faults
+        #: Work requests rejected by admission since startup.
+        self.shed = 0
+        self._stopping = False
+        self._started = time.monotonic()
         # Handler threads are daemons (an idle client connection must
         # never pin the process), so draining is explicit: dispatched
         # requests are counted and a stopping server waits for their
@@ -177,7 +258,31 @@ class ServiceServer(socketserver.ThreadingTCPServer):
         self._drained.set()
         super().__init__((host, port), _RequestHandler)
 
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def try_begin_request(self, op: object = None) -> bool:
+        """Admit one request, or shed it (``False``) without blocking.
+
+        Control operations always pass; work is refused while the
+        server is draining or ``capacity`` requests are already
+        dispatched. Shedding is counted, never queued: the caller gets
+        an instant structured rejection instead of an unbounded wait.
+        """
+        control = op in CONTROL_OPS
+        with self._inflight_lock:
+            if not control and (
+                self._stopping
+                or (self.capacity is not None and self._inflight >= self.capacity)
+            ):
+                self.shed += 1
+                return False
+            self._inflight += 1
+            self._drained.clear()
+            return True
+
     def _begin_request(self) -> None:
+        """Unconditional admission (control-plane / legacy callers)."""
         with self._inflight_lock:
             self._inflight += 1
             self._drained.clear()
@@ -188,6 +293,11 @@ class ServiceServer(socketserver.ThreadingTCPServer):
             if self._inflight == 0:
                 self._drained.set()
 
+    def begin_shutdown(self) -> None:
+        """Stop admitting work; already-dispatched requests drain."""
+        with self._inflight_lock:
+            self._stopping = True
+
     def wait_for_inflight(self, timeout: float | None = None) -> bool:
         """Block until every dispatched request has sent its reply.
 
@@ -197,6 +307,24 @@ class ServiceServer(socketserver.ThreadingTCPServer):
         loop (idle clients) don't count — only dispatched work does.
         """
         return self._drained.wait(timeout)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Dispatched requests that have not sent their reply yet."""
+        with self._inflight_lock:
+            return self._inflight
+
+    @property
+    def stopping(self) -> bool:
+        with self._inflight_lock:
+            return self._stopping
+
+    @property
+    def uptime_s(self) -> float:
+        return time.monotonic() - self._started
 
     @property
     def endpoint(self) -> tuple[str, int]:
@@ -220,6 +348,9 @@ def serve_in_thread(
     *,
     host: str = DEFAULT_HOST,
     port: int = 0,
+    capacity: int | None = None,
+    retry_after: float = DEFAULT_RETRY_AFTER,
+    faults: FaultInjector | None = None,
 ) -> tuple[ServiceServer, threading.Thread]:
     """Start a server on a background thread (ephemeral port by default).
 
@@ -230,7 +361,14 @@ def serve_in_thread(
         ... ServiceClient(*server.endpoint) ...
         server.shutdown(); server.server_close(); thread.join()
     """
-    server = ServiceServer(engine, host=host, port=port)
+    server = ServiceServer(
+        engine,
+        host=host,
+        port=port,
+        capacity=capacity,
+        retry_after=retry_after,
+        faults=faults,
+    )
     # A tight poll interval keeps shutdown() latency out of embedded
     # timings (the default 0.5 s would dominate short benchmarks).
     thread = threading.Thread(

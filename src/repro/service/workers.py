@@ -20,12 +20,20 @@ thread-safe); parallelism across a batch comes from the worker pool,
 and concurrency across *identical* requests from coalescing — a leader
 resolves all its futures before waiting on anyone else's, so the
 claim/resolve discipline cannot deadlock.
+
+The engine survives partial failure: a worker process that dies
+mid-batch (OOM kill, segfault) surfaces as ``BrokenExecutor``, and the
+engine rebuilds the pool and re-executes the in-flight tasks under a
+bounded restart budget — past the budget it degrades to in-process
+serial execution so the daemon keeps answering. Both the restart count
+and the degraded flag are exported through :meth:`status` for the
+``ping``/``stats`` operations.
 """
 
 from __future__ import annotations
 
 import threading
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 
 from repro.campaign.spec import SystemSpec
 from repro.evaluate.batch import TaskFailure, evaluate_tasks
@@ -34,6 +42,7 @@ from repro.evaluate.solvers import ThroughputSolver, get_solver
 from repro.exceptions import ReproError, ServiceError
 from repro.mapping.mapping import Mapping
 from repro.service.diskcache import DiskScoreCache, score_digest
+from repro.service.faults import FaultInjector
 from repro.service.queue import CoalescingQueue
 from repro.types import ExecutionModel
 
@@ -99,9 +108,13 @@ class EvaluationEngine:
         cache: StructureCache | None = None,
         disk: DiskScoreCache | None = None,
         max_entries: int | None = None,
+        max_pool_restarts: int = 3,
+        faults: FaultInjector | None = None,
     ) -> None:
         if n_jobs < 1:
             raise ValueError("n_jobs must be >= 1")
+        if max_pool_restarts < 0:
+            raise ValueError("max_pool_restarts must be >= 0")
         if cache is None:
             cache = StructureCache(max_entries=max_entries)
         elif max_entries is not None:
@@ -112,6 +125,8 @@ class EvaluationEngine:
         self.cache = cache
         self.disk = disk
         self.n_jobs = n_jobs
+        self.max_pool_restarts = max_pool_restarts
+        self.faults = faults
         self.queue = CoalescingQueue()
         # The structure cache, the pool and the disk store are plain
         # single-threaded objects; each gets one guard. _eval_lock also
@@ -128,6 +143,11 @@ class EvaluationEngine:
         self.memo_hits = 0
         self.failures = 0
         self.disk_errors = 0
+        #: Worker pools rebuilt after a BrokenProcessPool (crash recovery).
+        self.pool_restarts = 0
+        #: Set once the restart budget is spent: the engine stops
+        #: spawning pools and answers from in-process serial execution.
+        self.degraded = False
 
     # ------------------------------------------------------------------
     # Execution
@@ -192,19 +212,15 @@ class EvaluationEngine:
 
         # 4. One evaluator pass over the led digests. The futures are
         #    always resolved — an unexpected error becomes a TaskFailure
-        #    for every led task, never a deadlocked follower.
+        #    for every led task, never a deadlocked follower. Everything
+        #    from the moment keys are claimed runs inside the guard:
+        #    even a bug between claim and dispatch cannot strand anyone.
         if leaders:
-            lead_tasks = [norm[pending[d][0]][:3] for d in leaders]
             try:
+                lead_tasks = [norm[pending[d][0]][:3] for d in leaders]
                 with self._eval_lock:
                     hits0, misses0 = self.cache.hits, self.cache.misses
-                    values = evaluate_tasks(
-                        lead_tasks,
-                        cache=self.cache,
-                        n_jobs=self.n_jobs,
-                        pool=self._get_pool(),
-                        on_error="record",
-                    )
+                    values = self._evaluate_resilient(lead_tasks)
                     # A failure value is an evaluator run that raised
                     # mid-flight (resolution errors never reach here),
                     # and is never store()d — count both kinds of run.
@@ -319,16 +335,78 @@ class EvaluationEngine:
     # ------------------------------------------------------------------
     # Pool and lifecycle
     # ------------------------------------------------------------------
+    def _evaluate_resilient(self, lead_tasks: list) -> list:
+        """``evaluate_tasks`` with worker-crash recovery (under _eval_lock).
+
+        A crashed worker process (OOM kill, segfault, an injected
+        ``crash`` fault) surfaces as ``BrokenExecutor`` from the pool.
+        The in-flight lead tasks lose nothing — no value was folded back
+        yet — so the engine discards the broken pool, rebuilds it, and
+        re-executes the whole pass. The restart budget bounds how often
+        that may happen per engine lifetime
+        (:attr:`max_pool_restarts`); past it, the engine *degrades* to
+        in-process serial execution instead of churning pools, so the
+        daemon keeps answering (slower) rather than failing requests.
+        """
+        while True:
+            pool = self._get_pool()
+            if (
+                pool is not None
+                and self.faults is not None
+                and self.faults.take("crash")
+            ):
+                self.faults.kill_pool_worker(pool)
+            try:
+                return evaluate_tasks(
+                    lead_tasks,
+                    cache=self.cache,
+                    n_jobs=1 if pool is None else self.n_jobs,
+                    pool=pool,
+                    on_error="record",
+                )
+            except BrokenExecutor:
+                self._discard_pool()
+                with self._stats_lock:
+                    self.pool_restarts += 1
+                    if self.pool_restarts > self.max_pool_restarts:
+                        self.degraded = True
+
     def _get_pool(self) -> ProcessPoolExecutor | None:
-        """The persistent executor (lazily spawned; None when serial)."""
-        if self.n_jobs == 1:
+        """The persistent executor (lazily spawned; None when serial).
+
+        A degraded engine (restart budget spent) never spawns another
+        pool: every evaluation runs in-process until the operator
+        restarts the service.
+        """
+        if self.n_jobs == 1 or self.degraded:
             return None
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.n_jobs)
         return self._pool
 
+    def _discard_pool(self) -> None:
+        """Drop a broken executor (its workers are already gone)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            try:
+                pool.shutdown(wait=False)
+            except Exception:
+                pass
+
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool down (idempotent).
+
+        The ``torn_tail`` fault hook lives here: tearing the disk
+        cache's final record at engine teardown is byte-for-byte what a
+        crash during the last append leaves behind, and the *next*
+        server on this cache must repair it.
+        """
+        if (
+            self.faults is not None
+            and self.disk is not None
+            and self.faults.take("torn_tail")
+        ):
+            self.faults.tear_cache_tail(self.disk.path)
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
@@ -354,10 +432,19 @@ class EvaluationEngine:
                 "failures": self.failures,
                 "disk_errors": self.disk_errors,
             }
+            pool = {
+                "n_jobs": self.n_jobs,
+                "restarts": self.pool_restarts,
+                "max_restarts": self.max_pool_restarts,
+                "degraded": self.degraded,
+                "active": self._pool is not None,
+            }
         return {
             "requests": totals,
             "structure_cache": self.cache.stats(),
             "queue": self.queue.stats(),
             "disk_cache": self.disk.stats() if self.disk is not None else None,
+            "pool": pool,
             "n_jobs": self.n_jobs,
+            "faults": self.faults.stats() if self.faults is not None else None,
         }
