@@ -17,6 +17,9 @@ Usage::
     python -m repro.cli serve --port 7781 --cache service_cache.jsonl
     python -m repro.cli serve --port 7781 --capacity 8 --retry-after 0.5
     python -m repro.cli serve --port 7781 --faults drop:2,crash:1   # chaos
+    python -m repro.cli serve --role orchestrator --port 7790 \
+        --workers 127.0.0.1:7781,127.0.0.1:7782
+    python -m repro.cli fleet --n-workers 4 --port 7790 --max-entries 64
     python -m repro.cli submit --port 7781 --preset smoke
     python -m repro.cli ping --port 7781
     python -m repro.cli stats --port 7781
@@ -36,6 +39,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import subprocess
 import sys
 
 
@@ -139,6 +143,67 @@ def _cmd_search(args, parser) -> int:
 _SUBMIT_CHUNK = 256
 
 
+def _cmd_serve_orchestrator(args, parser) -> int:
+    from repro.exceptions import ServiceError
+    from repro.service import (
+        OrchestratorServer,
+        RetryPolicy,
+        WorkerCatalog,
+        parse_endpoints,
+    )
+
+    if not args.workers:
+        parser.error("--role orchestrator requires --workers HOST:PORT,...")
+    if args.max_worker_failures < 1:
+        parser.error("--max-worker-failures must be >= 1")
+    if args.ping_interval is not None and args.ping_interval <= 0:
+        parser.error("--ping-interval must be > 0")
+    if args.failover_sweeps < 1:
+        parser.error("--failover-sweeps must be >= 1")
+    try:
+        endpoints = parse_endpoints(args.workers)
+    except ServiceError as exc:
+        parser.error(str(exc))
+    catalog = WorkerCatalog(max_consecutive_failures=args.max_worker_failures)
+    for worker_host, worker_port in endpoints:
+        catalog.register(worker_host, worker_port)
+    retry = (
+        RetryPolicy(max_attempts=args.failover_sweeps)
+        if args.failover_sweeps > 1 else None
+    )
+    try:
+        server = OrchestratorServer(
+            catalog,
+            strategy=args.strategy,
+            host=args.host,
+            port=args.port,
+            retry=retry,
+            ping_interval=args.ping_interval,
+        )
+    except OSError as exc:
+        parser.error(f"cannot bind {args.host}:{args.port}: {exc}")
+    except ServiceError as exc:
+        parser.error(str(exc))
+    host, port = server.endpoint
+    if args.ready_file:
+        server.write_ready_file(args.ready_file)
+    print(f"serving    : {host}:{port} (orchestrator)")
+    print(f"strategy   : {args.strategy}")
+    print("workers    : " + ", ".join(
+        f"{w.name}={w.endpoint}" for w in catalog.workers()
+    ))
+    sys.stdout.flush()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        server.server_close()
+        server.wait_for_inflight(timeout=600.0)
+    print("stopped")
+    return 0
+
+
 def _cmd_serve(args, parser) -> int:
     from repro.exceptions import ServiceError
     from repro.service import (
@@ -148,6 +213,10 @@ def _cmd_serve(args, parser) -> int:
         ServiceServer,
     )
 
+    if args.role == "orchestrator":
+        return _cmd_serve_orchestrator(args, parser)
+    if args.workers:
+        parser.error("--workers only applies to --role orchestrator")
     if args.n_jobs < 1:
         parser.error("--n-jobs must be >= 1")
     if args.max_entries is not None and args.max_entries < 1:
@@ -216,6 +285,111 @@ def _cmd_serve(args, parser) -> int:
     return 0
 
 
+def _cmd_fleet(args, parser) -> int:
+    import tempfile
+
+    from repro.exceptions import ServiceError
+    from repro.service import (
+        OrchestratorServer,
+        RetryPolicy,
+        WorkerCatalog,
+        spawn_worker,
+        wait_for_ready_file,
+    )
+
+    if args.n_workers < 1:
+        parser.error("--n-workers must be >= 1")
+    if args.worker_n_jobs < 1:
+        parser.error("--worker-n-jobs must be >= 1")
+    if args.max_entries is not None and args.max_entries < 1:
+        parser.error("--max-entries must be >= 1")
+    if args.max_worker_failures < 1:
+        parser.error("--max-worker-failures must be >= 1")
+    if args.ping_interval is not None and args.ping_interval <= 0:
+        parser.error("--ping-interval must be > 0")
+    if args.cache_dir:
+        try:
+            os.makedirs(args.cache_dir, exist_ok=True)
+        except OSError as exc:
+            parser.error(f"cannot create --cache-dir {args.cache_dir}: {exc}")
+
+    catalog = WorkerCatalog(max_consecutive_failures=args.max_worker_failures)
+    procs: list = []
+    server = None
+    exit_code = 0
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-fleet-") as tmp:
+            for index in range(args.n_workers):
+                ready = os.path.join(tmp, f"worker{index}.json")
+                cache = (
+                    os.path.join(args.cache_dir, f"worker{index}.jsonl")
+                    if args.cache_dir else None
+                )
+                procs.append((
+                    spawn_worker(
+                        ready,
+                        n_jobs=args.worker_n_jobs,
+                        max_entries=args.max_entries,
+                        cache=cache,
+                    ),
+                    ready,
+                ))
+            try:
+                for index, (proc, ready) in enumerate(procs):
+                    worker_host, worker_port = wait_for_ready_file(
+                        ready,
+                        timeout=args.startup_timeout,
+                        process=proc,
+                    )
+                    catalog.register(worker_host, worker_port, name=f"w{index}")
+            except ServiceError as exc:
+                print(f"fleet startup failed: {exc}", file=sys.stderr)
+                return 1
+        try:
+            server = OrchestratorServer(
+                catalog,
+                strategy=args.strategy,
+                host=args.host,
+                port=args.port,
+                retry=RetryPolicy(),
+                ping_interval=args.ping_interval,
+            )
+        except OSError as exc:
+            print(
+                f"cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr
+            )
+            return 1
+        host, port = server.endpoint
+        if args.ready_file:
+            server.write_ready_file(args.ready_file)
+        print(f"serving    : {host}:{port} (orchestrator)")
+        print(f"strategy   : {args.strategy}")
+        print("workers    : " + ", ".join(
+            f"{w.name}={w.endpoint}" for w in catalog.workers()
+        ))
+        sys.stdout.flush()
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+    finally:
+        if server is not None:
+            server.server_close()
+            server.wait_for_inflight(timeout=600.0)
+            # The fleet owns its workers: ask each daemon to stop, then
+            # reap the subprocesses (hard-kill only the unresponsive).
+            server.stop_workers()
+        for proc, _ in procs:
+            try:
+                proc.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=10.0)
+                exit_code = 1
+    print("stopped")
+    return exit_code
+
+
 def _service_client(args):
     from repro.service import RetryPolicy, ServiceClient
 
@@ -240,18 +414,16 @@ def _cmd_ping(args, parser) -> int:
         return 1
     if args.json:
         # Pure-JSON mode: nothing else on stdout, pipeable to jq.
-        print(
-            json.dumps(
-                {
-                    "version": reply["version"],
-                    "uptime_s": reply["uptime_s"],
-                    "in_flight": reply["in_flight"],
-                    "counters": reply["counters"],
-                },
-                indent=2,
-                sort_keys=True,
-            )
-        )
+        payload = {
+            "version": reply["version"],
+            "uptime_s": reply["uptime_s"],
+            "in_flight": reply["in_flight"],
+            "counters": reply["counters"],
+        }
+        for key in ("role", "strategy", "workers"):
+            if key in reply:
+                payload[key] = reply[key]
+        print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     print(f"service    : {args.host}:{args.port}")
     print(f"version    : {reply['version']}")
@@ -259,6 +431,17 @@ def _cmd_ping(args, parser) -> int:
     if uptime is not None:
         print(f"uptime     : {uptime:.1f}s, {reply.get('in_flight')} in flight")
     counters = reply["counters"]
+    if counters is None and reply.get("role") == "orchestrator":
+        # An orchestrator has no engine of its own: its ping carries the
+        # fleet summary instead of evaluator counters ('stats' has the
+        # per-worker breakdown).
+        workers = reply.get("workers") or {}
+        print(f"role       : orchestrator ({reply.get('strategy')})")
+        print(
+            f"workers    : {workers.get('live', 0)}/{workers.get('total', 0)} "
+            "live"
+        )
+        return 0
     totals = counters["requests"]
     cache = counters["structure_cache"]
     queue = counters["queue"]
@@ -293,6 +476,49 @@ def _cmd_ping(args, parser) -> int:
     return 0
 
 
+def _render_fleet_stats(stats: dict) -> None:
+    """Per-worker table of an orchestrator's aggregated ``stats`` reply."""
+    orch = stats.get("orchestrator") or {}
+    totals = stats.get("totals") or {}
+    cache = stats.get("structure_cache") or {}
+    print(
+        f"orchestrator: strategy={stats.get('strategy')}, "
+        f"{orch.get('requests', 0)} requests, {orch.get('batches', 0)} "
+        f"batches, {orch.get('units', 0)} units, "
+        f"{orch.get('failovers', 0)} failovers"
+    )
+    print(
+        f"fleet totals: {totals.get('units', 0)} units, "
+        f"{totals.get('executed', 0)} executed, "
+        f"{totals.get('disk_hits', 0)} disk hits, "
+        f"{totals.get('memo_hits', 0)} memo hits, "
+        f"{totals.get('failures', 0)} failures"
+    )
+    print(
+        f"structure cache: {cache.get('hits', 0)} hits / "
+        f"{cache.get('misses', 0)} misses "
+        f"(hit rate {cache.get('hit_rate', 0.0):.1%}, "
+        f"{cache.get('evictions', 0)} evictions)"
+    )
+    print(
+        f"{'worker':8s} {'endpoint':22s} {'live':5s} {'inflt':>5s} "
+        f"{'routed':>6s} {'failov':>6s} {'evict':>5s} {'units':>8s} "
+        f"{'executed':>8s}"
+    )
+    for row in stats.get("workers") or []:
+        reported = row.get("reported") or {}
+        requests = reported.get("requests") or {}
+        units = requests.get("units", "-")
+        executed = requests.get("executed", "-")
+        print(
+            f"{row.get('name', '?'):8s} {row.get('endpoint', '?'):22s} "
+            f"{'yes' if row.get('live') else 'NO':5s} "
+            f"{row.get('in_flight', 0):>5d} {row.get('routed', 0):>6d} "
+            f"{row.get('failovers', 0):>6d} {row.get('evictions', 0):>5d} "
+            f"{units!s:>8s} {executed!s:>8s}"
+        )
+
+
 def _cmd_stats(args, parser) -> int:
     from repro.exceptions import ServiceError
 
@@ -302,8 +528,14 @@ def _cmd_stats(args, parser) -> int:
     except ServiceError as exc:
         print(f"stats failed: {exc}", file=sys.stderr)
         return 1
-    # Always pure JSON: this is the operator/CI introspection surface,
-    # meant for jq/grep (admission depth, shed count, pool restarts).
+    if stats.get("role") == "orchestrator" and not args.json:
+        # The fleet view gets an operator table; --json restores the
+        # raw aggregate for jq/grep consumers.
+        _render_fleet_stats(stats)
+        return 0
+    # Worker daemons always dump pure JSON: this is the operator/CI
+    # introspection surface, meant for jq/grep (admission depth, shed
+    # count, pool restarts).
     print(json.dumps(stats, indent=2, sort_keys=True))
     return 0
 
@@ -716,6 +948,95 @@ def main(argv: list[str] | None = None) -> int:
         "(chaos testing; default: the REPRO_FAULTS environment variable)",
     )
 
+    from repro.service.routing import available_strategies
+
+    servep.add_argument(
+        "--role", choices=("worker", "orchestrator"), default="worker",
+        help="worker: evaluate requests in this process (the default); "
+        "orchestrator: forward them across a fleet named by --workers",
+    )
+    servep.add_argument(
+        "--workers", default=None, metavar="HOST:PORT,...",
+        help="comma-separated worker endpoints for --role orchestrator",
+    )
+    fleet_tuning = [
+        (
+            "--strategy",
+            dict(
+                choices=available_strategies(),
+                default="fingerprint_affinity",
+                help="how the orchestrator routes requests to workers "
+                "(default: %(default)s)",
+            ),
+        ),
+        (
+            "--ping-interval",
+            dict(
+                type=float, default=2.0, metavar="SECONDS",
+                help="liveness-ping period; failed workers are evicted "
+                "from the rotation, recovered ones revived "
+                "(default: %(default)s)",
+            ),
+        ),
+        (
+            "--max-worker-failures",
+            dict(
+                type=int, default=3, metavar="N",
+                help="consecutive failures before a worker is evicted "
+                "(default: %(default)s)",
+            ),
+        ),
+    ]
+    for flag, options in fleet_tuning:
+        servep.add_argument(flag, **options)
+    servep.add_argument(
+        "--failover-sweeps", type=int, default=3,
+        help="full passes over the failover ranking before the "
+        "orchestrator reports a request as failed (default: %(default)s)",
+    )
+
+    fleetp = sub.add_parser(
+        "fleet",
+        help="spawn N worker daemons plus an orchestrator fronting them "
+        "(one endpoint, runs until shutdown)",
+    )
+    fleetp.add_argument(
+        "--n-workers", type=int, default=2,
+        help="worker daemons to spawn (default: %(default)s)",
+    )
+    fleetp.add_argument("--host", default=DEFAULT_HOST)
+    fleetp.add_argument(
+        "--port", type=int, default=DEFAULT_PORT,
+        help="orchestrator TCP port (0 picks an ephemeral one; workers "
+        "always bind ephemeral ports; default: %(default)s)",
+    )
+    for flag, options in fleet_tuning:
+        fleetp.add_argument(flag, **options)
+    fleetp.add_argument(
+        "--worker-n-jobs", type=int, default=1,
+        help="evaluation processes per worker (default: serial)",
+    )
+    fleetp.add_argument(
+        "--max-entries", type=int, default=None,
+        help="LRU bound per worker structure-cache map "
+        "(default: unbounded)",
+    )
+    fleetp.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="directory for per-worker persistent score caches "
+        "(worker<k>.jsonl; default: memory only)",
+    )
+    fleetp.add_argument(
+        "--ready-file", default=None, metavar="FILE",
+        help="write the orchestrator's {host, port, pid} JSON here once "
+        "the whole fleet is up",
+    )
+    fleetp.add_argument(
+        "--startup-timeout", type=float, default=30.0,
+        help="seconds to wait for each worker's ready file "
+        "(default: %(default)s)",
+    )
+
     pingp = sub.add_parser(
         "ping",
         help="probe a running service (exit 0: alive, 1: unreachable)",
@@ -756,6 +1077,11 @@ def main(argv: list[str] | None = None) -> int:
     pingp.add_argument(
         "--json", action="store_true",
         help="dump the raw counter block as JSON",
+    )
+    statsp.add_argument(
+        "--json", action="store_true",
+        help="force raw JSON output (orchestrators render a per-worker "
+        "table otherwise; plain workers always print JSON)",
     )
     submitp.add_argument(
         "--preset",
@@ -830,6 +1156,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_campaign(args, parser)
     if args.command == "serve":
         return _cmd_serve(args, parser)
+    if args.command == "fleet":
+        return _cmd_fleet(args, parser)
     if args.command == "ping":
         return _cmd_ping(args, parser)
     if args.command == "stats":

@@ -24,18 +24,46 @@ over a loopback socket:
   graceful drain) and the client library (per-request deadlines,
   retry with exponential backoff) behind ``repro.cli
   serve/submit/ping/stats/shutdown`` and ``campaign run
-  --via-service``.
+  --via-service``;
+* :mod:`repro.service.catalog` / :mod:`repro.service.routing` /
+  :mod:`repro.service.orchestrator` / :mod:`repro.service.fleet` — the
+  fleet tier: a worker registry with liveness eviction, a routing
+  strategy registry (``round_robin`` / ``worst_fit`` /
+  ``fingerprint_affinity`` rendezvous hashing), and an orchestrator
+  speaking the *same* protocol that shards batches across workers,
+  fails over when one dies mid-request, and aggregates fleet
+  statistics — behind ``repro.cli serve --role orchestrator`` and
+  ``repro.cli fleet``.
 """
 
+from repro.service.catalog import WorkerCatalog, WorkerInfo
 from repro.service.client import RetryPolicy, ServiceClient, wait_for_service
 from repro.service.diskcache import DiskScoreCache, score_digest
 from repro.service.faults import FaultInjector
+from repro.service.fleet import (
+    LocalFleet,
+    local_fleet,
+    spawn_worker,
+    wait_for_ready_file,
+)
+from repro.service.orchestrator import (
+    OrchestratorServer,
+    serve_orchestrator_in_thread,
+)
 from repro.service.protocol import (
     DEFAULT_HOST,
     DEFAULT_PORT,
     parse_endpoint,
+    parse_endpoints,
+    publish_ready_file,
 )
 from repro.service.queue import CoalescingQueue
+from repro.service.routing import (
+    available_strategies,
+    make_strategy,
+    register_strategy,
+    task_routing_key,
+)
 from repro.service.server import ServiceServer, serve_in_thread
 from repro.service.workers import EvaluationEngine, normalize_task
 
@@ -46,12 +74,26 @@ __all__ = [
     "DiskScoreCache",
     "EvaluationEngine",
     "FaultInjector",
+    "LocalFleet",
+    "OrchestratorServer",
     "RetryPolicy",
     "ServiceClient",
     "ServiceServer",
+    "WorkerCatalog",
+    "WorkerInfo",
+    "available_strategies",
+    "local_fleet",
+    "make_strategy",
     "normalize_task",
     "parse_endpoint",
+    "parse_endpoints",
+    "publish_ready_file",
+    "register_strategy",
     "score_digest",
     "serve_in_thread",
+    "serve_orchestrator_in_thread",
+    "spawn_worker",
+    "task_routing_key",
+    "wait_for_ready_file",
     "wait_for_service",
 ]

@@ -1,0 +1,228 @@
+"""Worker catalog: the orchestrator's registry of evaluation daemons.
+
+A :class:`WorkerCatalog` tracks every worker the fleet knows about —
+endpoint, optional capacity hint, orchestrator-side in-flight depth,
+liveness and failure history — behind one lock, so routing strategies
+can rank a consistent snapshot while request handler threads update the
+counters concurrently.
+
+Liveness is observational, not configured: a worker that fails
+``max_consecutive_failures`` requests (or liveness pings) in a row is
+*evicted* — dropped from the live set so no further traffic routes to
+it — and a later successful ping revives it with a clean failure
+streak. Eviction never forgets the worker: its counters survive so the
+``stats`` aggregation can report what happened to it.
+
+Workers get stable names (``w0``, ``w1``, …) at registration. The
+rendezvous-hash routing strategy keys on those names rather than on
+endpoints, so a worker that restarts on a new ephemeral port keeps its
+shard.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+
+from repro.exceptions import ServiceError
+
+#: Requests (or pings) a worker may fail back-to-back before eviction.
+DEFAULT_MAX_CONSECUTIVE_FAILURES = 3
+
+
+@dataclasses.dataclass
+class WorkerInfo:
+    """One worker's catalog entry (mutated only under the catalog lock)."""
+
+    name: str
+    host: str
+    port: int
+    capacity: int | None = None
+    #: In the routing rotation (set False on eviction, True on revival).
+    live: bool = True
+    #: Requests the orchestrator currently has outstanding to this worker.
+    in_flight: int = 0
+    #: Requests (including per-shard sub-batches) forwarded to this worker.
+    routed: int = 0
+    #: Requests this worker failed that moved on to another candidate.
+    failovers: int = 0
+    #: Current failure streak (reset by any success).
+    consecutive_failures: int = 0
+    #: Times this worker was evicted from the live set.
+    evictions: int = 0
+
+    @property
+    def endpoint(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def stats(self) -> dict:
+        """The per-worker row of the orchestrator's ``stats`` reply."""
+        return {
+            "name": self.name,
+            "endpoint": self.endpoint,
+            "capacity": self.capacity,
+            "live": self.live,
+            "in_flight": self.in_flight,
+            "routed": self.routed,
+            "failovers": self.failovers,
+            "consecutive_failures": self.consecutive_failures,
+            "evictions": self.evictions,
+        }
+
+
+class WorkerCatalog:
+    """Thread-safe registry of fleet workers with liveness tracking."""
+
+    def __init__(
+        self,
+        *,
+        max_consecutive_failures: int = DEFAULT_MAX_CONSECUTIVE_FAILURES,
+    ) -> None:
+        if max_consecutive_failures < 1:
+            raise ServiceError(
+                f"max_consecutive_failures must be >= 1, "
+                f"got {max_consecutive_failures}"
+            )
+        self.max_consecutive_failures = max_consecutive_failures
+        self._lock = threading.Lock()
+        self._workers: dict[str, WorkerInfo] = {}
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        host: str,
+        port: int,
+        *,
+        name: str | None = None,
+        capacity: int | None = None,
+    ) -> WorkerInfo:
+        """Add a worker; auto-names it ``w<k>`` when ``name`` is omitted.
+
+        Names and endpoints are both unique: registering a duplicate of
+        either raises (two catalog entries proxying one daemon would
+        double-count its shard and its failures).
+        """
+        with self._lock:
+            if name is None:
+                while f"w{self._seq}" in self._workers:
+                    self._seq += 1
+                name = f"w{self._seq}"
+                self._seq += 1
+            if name in self._workers:
+                raise ServiceError(f"worker {name!r} is already registered")
+            for other in self._workers.values():
+                if (other.host, other.port) == (host, port):
+                    raise ServiceError(
+                        f"endpoint {host}:{port} is already registered "
+                        f"as worker {other.name!r}"
+                    )
+            worker = WorkerInfo(name=name, host=host, port=port, capacity=capacity)
+            self._workers[name] = worker
+            return worker
+
+    def remove(self, name: str) -> WorkerInfo:
+        """Forget a worker entirely (an evicted one stays, removed ones don't)."""
+        with self._lock:
+            try:
+                return self._workers.pop(name)
+            except KeyError:
+                raise ServiceError(f"unknown worker {name!r}") from None
+
+    def get(self, name: str) -> WorkerInfo:
+        with self._lock:
+            try:
+                return self._workers[name]
+            except KeyError:
+                raise ServiceError(f"unknown worker {name!r}") from None
+
+    def workers(self) -> list[WorkerInfo]:
+        """Every registered worker, in registration order (live or not)."""
+        with self._lock:
+            return list(self._workers.values())
+
+    def live_workers(self) -> list[WorkerInfo]:
+        """The routing candidates: live workers in registration order."""
+        with self._lock:
+            return [w for w in self._workers.values() if w.live]
+
+    # ------------------------------------------------------------------
+    # Traffic accounting
+    # ------------------------------------------------------------------
+    def begin(self, name: str) -> None:
+        """One exchange dispatched to ``name`` (counts toward queue depth)."""
+        with self._lock:
+            worker = self._workers.get(name)
+            if worker is not None:
+                worker.in_flight += 1
+
+    def note_routed(self, name: str) -> None:
+        """Count one *work* request forwarded to ``name``.
+
+        Separate from :meth:`begin` so liveness pings and stats fan-outs
+        keep the ``routed`` column a pure traffic statistic.
+        """
+        with self._lock:
+            worker = self._workers.get(name)
+            if worker is not None:
+                worker.routed += 1
+
+    def end(self, name: str) -> None:
+        with self._lock:
+            worker = self._workers.get(name)
+            if worker is not None:
+                worker.in_flight -= 1
+
+    def record_success(self, name: str) -> None:
+        """Any successful exchange clears the failure streak and revives."""
+        with self._lock:
+            worker = self._workers.get(name)
+            if worker is not None:
+                worker.consecutive_failures = 0
+                worker.live = True
+
+    def record_failure(self, name: str, *, failover: bool = False) -> bool:
+        """Count one failed exchange; returns ``True`` if this evicted it.
+
+        ``failover=True`` marks the failure as one whose request moved on
+        to another worker (the orchestrator's forwarding path); liveness
+        pings pass ``False`` so the failover counter stays a traffic
+        statistic, not a health one.
+        """
+        with self._lock:
+            worker = self._workers.get(name)
+            if worker is None:
+                return False
+            if failover:
+                worker.failovers += 1
+            worker.consecutive_failures += 1
+            if (
+                worker.live
+                and worker.consecutive_failures >= self.max_consecutive_failures
+            ):
+                worker.live = False
+                worker.evictions += 1
+                return True
+            return False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._workers)
+
+    def stats(self) -> list[dict]:
+        """Per-worker stat rows, registration order (evicted ones included)."""
+        with self._lock:
+            return [w.stats() for w in self._workers.values()]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self._lock:
+            live = sum(1 for w in self._workers.values() if w.live)
+            return (
+                f"WorkerCatalog({len(self._workers)} workers, {live} live, "
+                f"max_consecutive_failures={self.max_consecutive_failures})"
+            )

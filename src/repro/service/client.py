@@ -210,14 +210,22 @@ class ServiceClient:
                 f"service at {self.host}:{self.port} closed the connection"
             )
         if not reply.get("ok"):
-            if reply.get("error_type") == "ServiceOverloaded":
+            # Typed errors survive one forwarding hop: an orchestrator
+            # that lost its whole fleet mid-request replies with the
+            # transient error *type*, and reconstructing it here keeps
+            # the failure retryable instead of flattening it into a
+            # permanent ServiceError.
+            error_type = reply.get("error_type")
+            message = reply.get("error", "service refused the request")
+            if error_type == "ServiceOverloaded":
                 raise ServiceOverloaded(
-                    reply.get("error", "service overloaded"),
-                    retry_after=reply.get("retry_after"),
+                    message, retry_after=reply.get("retry_after")
                 )
-            raise ServiceError(
-                reply.get("error", "service refused the request")
-            )
+            if error_type == "ServiceUnavailable":
+                raise ServiceUnavailable(message)
+            if error_type == "ServiceTimeout":
+                raise ServiceTimeout(message)
+            raise ServiceError(message)
         return reply
 
     def request(self, payload: dict, *, timeout=_UNSET, retry=_UNSET) -> dict:
@@ -261,12 +269,19 @@ class ServiceClient:
         ``counters`` carries the engine/cache/queue/pool statistics.
         """
         reply = self.request({"op": "ping"}, timeout=timeout)
-        return {
+        result = {
             "version": reply.get("version"),
             "uptime_s": reply.get("uptime_s"),
             "in_flight": reply.get("in_flight"),
             "counters": reply.get("counters"),
         }
+        # Fleet-aware fields (an orchestrator answers with its role,
+        # routing strategy and live-worker summary instead of engine
+        # counters); absent on a plain worker daemon.
+        for key in ("role", "strategy", "workers"):
+            if key in reply:
+                result[key] = reply[key]
+        return result
 
     def stats(self, *, timeout=_UNSET) -> dict:
         """Operator statistics: admission queue, shedding, pool restarts.

@@ -1,0 +1,328 @@
+"""Fleet lifecycle helpers: local in-process fleets and spawned workers.
+
+Two ways to stand up an orchestrator + N workers:
+
+* :func:`local_fleet` — everything in this process (N worker servers on
+  background threads, each with its own :class:`EvaluationEngine`, plus
+  the orchestrator). The embedding entry point for the tests and the
+  ``service.fleet`` benchmark: deterministic, no subprocesses, and the
+  returned handle can *kill* a worker abruptly — listening socket and
+  established connections torn down mid-request — to exercise failover
+  exactly like a crashed daemon would;
+* :func:`spawn_worker` / :func:`wait_for_ready_file` — real
+  ``repro.cli serve`` subprocesses with the atomic ready-file handshake,
+  used by ``repro.cli fleet`` and the CI fleet-smoke job.
+
+Ownership is explicit everywhere: whoever spawned a worker stops it;
+an orchestrator pointed at externally managed daemons never does.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import json
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+from repro.exceptions import ServiceError, ServiceTimeout
+from repro.service.catalog import WorkerCatalog
+from repro.service.client import RetryPolicy, ServiceClient
+from repro.service.faults import FaultInjector
+from repro.service.orchestrator import (
+    OrchestratorServer,
+    serve_orchestrator_in_thread,
+)
+from repro.service.protocol import DEFAULT_HOST
+from repro.service.routing import RoutingStrategy
+from repro.service.server import ServiceServer
+from repro.service.workers import EvaluationEngine
+
+
+class _KillableServiceServer(ServiceServer):
+    """A worker server whose established connections can be severed.
+
+    ``socketserver`` only owns the listening socket; to simulate a
+    crashed daemon the accepted connections must die too (the
+    orchestrator's pooled clients hold them open). Connections are
+    tracked through the ``get_request``/``close_request`` hooks and
+    :meth:`kill_connections` shuts them all down hard.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        self._conns: set[socket.socket] = set()
+        self._conns_lock = threading.Lock()
+        super().__init__(*args, **kwargs)
+
+    def get_request(self):
+        request, client_address = super().get_request()
+        with self._conns_lock:
+            self._conns.add(request)
+        return request, client_address
+
+    def close_request(self, request) -> None:
+        with self._conns_lock:
+            self._conns.discard(request)
+        super().close_request(request)
+
+    def kill_connections(self) -> None:
+        with self._conns_lock:
+            conns = list(self._conns)
+            self._conns.clear()
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+
+@dataclasses.dataclass
+class FleetWorker:
+    """One in-process worker: engine + server + serving thread."""
+
+    name: str
+    engine: EvaluationEngine
+    server: _KillableServiceServer
+    thread: threading.Thread
+
+    @property
+    def endpoint(self) -> tuple[str, int]:
+        return self.server.endpoint
+
+
+class LocalFleet:
+    """Handle on an in-process fleet (yielded by :func:`local_fleet`)."""
+
+    def __init__(
+        self,
+        catalog: WorkerCatalog,
+        orchestrator: OrchestratorServer,
+        orchestrator_thread: threading.Thread,
+        workers: list[FleetWorker],
+    ) -> None:
+        self.catalog = catalog
+        self.orchestrator = orchestrator
+        self._orchestrator_thread = orchestrator_thread
+        self.workers = workers
+        self._stopped: set[str] = set()
+
+    @property
+    def endpoint(self) -> tuple[str, int]:
+        """The orchestrator's bound ``(host, port)`` — point clients here."""
+        return self.orchestrator.endpoint
+
+    def client(self, **kwargs) -> ServiceClient:
+        host, port = self.endpoint
+        return ServiceClient(host, port, **kwargs)
+
+    def worker(self, name: str) -> FleetWorker:
+        for worker in self.workers:
+            if worker.name == name:
+                return worker
+        raise ServiceError(f"unknown fleet worker {name!r}")
+
+    def kill_worker(self, name: str) -> None:
+        """Tear a worker down *abruptly*, like a crashed daemon.
+
+        The listening socket closes, every established connection is
+        severed (in-flight requests die without a reply), and the
+        engine is reclaimed. The catalog is not told: the orchestrator
+        must *discover* the death through failed forwards or pings —
+        that discovery path is what the failover tests exercise.
+        """
+        worker = self.worker(name)
+        if name in self._stopped:
+            return
+        self._stopped.add(name)
+        worker.server.shutdown()
+        worker.server.server_close()
+        worker.server.kill_connections()
+        worker.engine.close()
+        worker.thread.join(timeout=5.0)
+
+    def stop_worker(self, name: str) -> None:
+        """Graceful single-worker stop (drain, then engine teardown)."""
+        worker = self.worker(name)
+        if name in self._stopped:
+            return
+        self._stopped.add(name)
+        worker.server.shutdown()
+        worker.server.server_close()
+        worker.server.wait_for_inflight(timeout=10.0)
+        worker.engine.close()
+        worker.thread.join(timeout=5.0)
+
+    def close(self) -> None:
+        """Stop the orchestrator first, then every remaining worker."""
+        self.orchestrator.shutdown()
+        self.orchestrator.server_close()
+        self.orchestrator.wait_for_inflight(timeout=30.0)
+        self._orchestrator_thread.join(timeout=5.0)
+        for worker in self.workers:
+            self.stop_worker(worker.name)
+
+
+@contextlib.contextmanager
+def local_fleet(
+    n_workers: int,
+    *,
+    strategy: str | RoutingStrategy = "fingerprint_affinity",
+    max_entries: int | None = None,
+    n_jobs: int = 1,
+    capacity: int | None = None,
+    retry: RetryPolicy | None = None,
+    request_timeout: float | None = None,
+    connect_timeout: float | None = 2.0,
+    ping_interval: float | None = None,
+    faults: dict[int, str] | None = None,
+):
+    """An orchestrator fronting ``n_workers`` in-process daemons.
+
+    Workers get the stable catalog names ``w0`` … ``w<n-1>`` (the
+    rendezvous-hash shard identities) and each owns an independent
+    engine — ``max_entries`` bounds each worker's structure cache, so a
+    fleet's *aggregate* cache capacity scales with its size, which is
+    exactly what the ``service.fleet`` benchmark measures on one core.
+    ``faults`` maps worker index → :class:`FaultInjector` spec (e.g.
+    ``{1: "drop:1"}``) for failover tests.
+    """
+    if n_workers < 1:
+        raise ServiceError(f"n_workers must be >= 1, got {n_workers}")
+    catalog = WorkerCatalog()
+    workers: list[FleetWorker] = []
+    fleet: LocalFleet | None = None
+    try:
+        for index in range(n_workers):
+            engine = EvaluationEngine(n_jobs=n_jobs, max_entries=max_entries)
+            spec = (faults or {}).get(index)
+            injector = FaultInjector.from_spec(spec) if spec else None
+            server = _KillableServiceServer(
+                engine,
+                host=DEFAULT_HOST,
+                port=0,
+                capacity=capacity,
+                faults=injector,
+            )
+            thread = threading.Thread(
+                target=lambda srv=server: srv.serve_forever(poll_interval=0.02),
+                daemon=True,
+            )
+            thread.start()
+            name = f"w{index}"
+            host, port = server.endpoint
+            catalog.register(host, port, name=name, capacity=capacity)
+            workers.append(FleetWorker(name, engine, server, thread))
+        orchestrator, orch_thread = serve_orchestrator_in_thread(
+            catalog,
+            strategy=strategy,
+            retry=retry,
+            request_timeout=request_timeout,
+            connect_timeout=connect_timeout,
+            ping_interval=ping_interval,
+        )
+        fleet = LocalFleet(catalog, orchestrator, orch_thread, workers)
+        yield fleet
+    finally:
+        if fleet is not None:
+            fleet.close()
+        else:  # orchestrator never came up: reclaim the workers directly
+            for worker in workers:
+                worker.server.shutdown()
+                worker.server.server_close()
+                worker.engine.close()
+                worker.thread.join(timeout=5.0)
+
+
+# ----------------------------------------------------------------------
+# Subprocess workers (repro.cli fleet / CI smoke jobs)
+# ----------------------------------------------------------------------
+def spawn_worker(
+    ready_file: str | os.PathLike,
+    *,
+    host: str = DEFAULT_HOST,
+    port: int = 0,
+    n_jobs: int = 1,
+    max_entries: int | None = None,
+    cache: str | os.PathLike | None = None,
+    capacity: int | None = None,
+    faults: str | None = None,
+    python: str | None = None,
+    stdout=subprocess.DEVNULL,
+    stderr=None,
+) -> subprocess.Popen:
+    """Launch one ``repro.cli serve`` daemon as a subprocess.
+
+    The worker publishes its bound endpoint through ``ready_file``
+    (atomic ``{host, port, pid}`` JSON — poll it with
+    :func:`wait_for_ready_file`). ``PYTHONPATH`` is extended with this
+    package's source root so the child resolves :mod:`repro` exactly as
+    the parent did, wherever it was launched from.
+    """
+    argv = [
+        python or sys.executable,
+        "-m",
+        "repro.cli",
+        "serve",
+        "--host", host,
+        "--port", str(port),
+        "--ready-file", str(ready_file),
+        "--n-jobs", str(n_jobs),
+    ]
+    if max_entries is not None:
+        argv += ["--max-entries", str(max_entries)]
+    if cache is not None:
+        argv += ["--cache", str(cache)]
+    if capacity is not None:
+        argv += ["--capacity", str(capacity)]
+    if faults:
+        argv += ["--faults", faults]
+    env = dict(os.environ)
+    source_root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        source_root if not existing
+        else source_root + os.pathsep + existing
+    )
+    return subprocess.Popen(argv, env=env, stdout=stdout, stderr=stderr)
+
+
+def wait_for_ready_file(
+    path: str | os.PathLike,
+    *,
+    timeout: float = 30.0,
+    interval: float = 0.05,
+    process: subprocess.Popen | None = None,
+) -> tuple[str, int]:
+    """Poll for a worker's ready file; returns its ``(host, port)``.
+
+    When ``process`` is given, a child that exits before publishing the
+    file fails fast with its return code instead of burning the whole
+    timeout.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if process is not None and process.poll() is not None:
+            raise ServiceError(
+                f"worker exited with code {process.returncode} before "
+                f"publishing {os.fspath(path)}"
+            )
+        try:
+            with open(path, encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            time.sleep(interval)
+            continue
+        return str(payload["host"]), int(payload["port"])
+    raise ServiceTimeout(
+        f"ready file {os.fspath(path)} did not appear within {timeout}s"
+    )

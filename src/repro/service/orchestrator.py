@@ -1,0 +1,780 @@
+"""The fleet orchestrator: one endpoint fronting many evaluation daemons.
+
+``OrchestratorServer`` speaks the same newline-delimited JSON protocol
+as :class:`~repro.service.server.ServiceServer`, so every existing
+client — ``repro.cli submit``, ``campaign run --via-service``, a bare
+socket — can point at an orchestrator instead of a worker without
+changing a byte of what it sends. The orchestrator owns no evaluation
+engine; it owns a :class:`~repro.service.catalog.WorkerCatalog` and a
+:mod:`routing strategy <repro.service.routing>`, and turns every work
+request into forwarded requests against the fleet:
+
+* ``evaluate`` / ``solve`` / ``search`` — routed whole to the
+  strategy's first-choice worker for the request's routing key, failing
+  over down the ranking when a worker dies mid-request;
+* ``batch`` — split into per-worker sub-batches (each task routed by
+  its structure fingerprint), dispatched concurrently, and merged back
+  into one reply in the original request order; a worker lost mid-batch
+  only re-dispatches *its* shard among the survivors;
+* ``stats`` — fanned out across the fleet and aggregated: per-worker
+  rows (routing counters + the worker's own report) plus fleet totals
+  and an aggregate structure-cache hit rate;
+* ``ping`` / ``shutdown`` — answered locally (shutdown drains exactly
+  like a worker; forwarded requests in flight send their replies).
+
+Failover reuses the client tier's :class:`RetryPolicy` *between* full
+candidate sweeps: within a sweep each live candidate is tried once in
+ranking order (dead workers accumulate failure streaks and are evicted
+by the catalog), and only when every candidate has failed does the
+orchestrator back off and sweep again. Transient failures with no
+survivors are reported with their *typed* error (``ServiceUnavailable``
+/ ``ServiceOverloaded``), which the client reconstructs — so a campaign
+runner's own retry loop treats a briefly headless fleet as retryable
+rather than fatal.
+
+Like the worker daemon, the orchestrator binds loopback by default and
+is an unauthenticated local accelerator, not an internet service.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import random
+import socketserver
+import threading
+import time
+
+from repro._version import __version__
+from repro.exceptions import (
+    ServiceError,
+    ServiceOverloaded,
+    ServiceTimeout,
+    ServiceUnavailable,
+)
+from repro.service.catalog import WorkerCatalog, WorkerInfo
+from repro.service.client import RetryPolicy, ServiceClient
+from repro.service.protocol import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    error_reply,
+    overloaded_reply,
+    publish_ready_file,
+    recv_frame,
+    send_frame,
+)
+from repro.service.routing import RoutingStrategy, make_strategy, task_routing_key
+from repro.service.server import DEFAULT_RETRY_AFTER
+
+#: Sentinel for "use the pool client's default deadline".
+_UNSET = object()
+
+#: The transport-level failures that trigger failover to the next
+#: candidate (an overloaded worker is *alive* — it is skipped for the
+#: current sweep without a failure mark against its liveness streak).
+_FAILOVER_ERRORS = (ServiceTimeout, ServiceUnavailable)
+
+
+class _WorkerClientPool:
+    """Per-worker stacks of reusable :class:`ServiceClient` connections.
+
+    ``ServiceClient`` is not thread-safe, so concurrent shard dispatches
+    lease one client each; returned clients are kept (bounded per
+    worker) for the next request. A client whose exchange raised is
+    closed and dropped — its connection state is unknown — and a lease
+    keyed to a stale endpoint (worker re-registered on a new port) is
+    replaced transparently.
+    """
+
+    def __init__(
+        self,
+        *,
+        timeout: float | None = None,
+        connect_timeout: float | None = None,
+        max_idle: int = 4,
+    ) -> None:
+        self.timeout = timeout
+        self.connect_timeout = connect_timeout
+        self.max_idle = max_idle
+        self._lock = threading.Lock()
+        self._idle: dict[str, list[ServiceClient]] = {}
+        self._closed = False
+
+    @contextlib.contextmanager
+    def lease(self, worker: WorkerInfo):
+        with self._lock:
+            stack = self._idle.get(worker.name)
+            client = stack.pop() if stack else None
+        if client is not None and (client.host, client.port) != (
+            worker.host,
+            worker.port,
+        ):
+            client.close()
+            client = None
+        if client is None:
+            client = ServiceClient(
+                worker.host,
+                worker.port,
+                timeout=self.timeout,
+                connect_timeout=self.connect_timeout,
+                retry=None,
+            )
+        try:
+            yield client
+        except Exception:
+            client.close()
+            raise
+        else:
+            with self._lock:
+                if not self._closed:
+                    stack = self._idle.setdefault(worker.name, [])
+                    if len(stack) < self.max_idle:
+                        stack.append(client)
+                        return
+            client.close()
+
+    def close_all(self) -> None:
+        with self._lock:
+            self._closed = True
+            clients = [c for stack in self._idle.values() for c in stack]
+            self._idle.clear()
+        for client in clients:
+            client.close()
+
+
+def handle_orchestrator_request(
+    server: "OrchestratorServer", payload: dict
+) -> tuple[dict, bool]:
+    """Dispatch one request frame; return ``(reply, stop_server)``."""
+    op = payload.get("op")
+    try:
+        if op == "ping":
+            live = server.catalog.live_workers()
+            return {
+                "ok": True,
+                "op": "ping",
+                "role": "orchestrator",
+                "version": __version__,
+                "uptime_s": server.uptime_s,
+                "in_flight": server.in_flight,
+                "strategy": server.strategy.name,
+                "workers": {"total": len(server.catalog), "live": len(live)},
+                # No engine here: counters live on the workers (see the
+                # stats op for the aggregated view).
+                "counters": None,
+            }, False
+        if op == "stats":
+            return server.stats_reply(), False
+        if op == "shutdown":
+            server.begin_shutdown()
+            return {"ok": True, "op": "shutdown", "role": "orchestrator"}, True
+        if op in ("evaluate", "solve"):
+            if op == "solve":
+                name = payload.get("system_name")
+                if not isinstance(name, str) or not name:
+                    raise ServiceError("solve needs a string 'system_name'")
+                # The routing key of a solve is the key of the task it
+                # desugars to on the worker — so a solve and the
+                # equivalent evaluate land on the same shard.
+                task = {
+                    "system": {"kind": "named", "params": {"name": name}},
+                    "solver": payload.get("solver", "deterministic"),
+                    "model": payload.get("model", "overlap"),
+                    "options": payload.get("options", {}),
+                }
+            else:
+                task = payload.get("task")
+            reply = server.forward(payload, task_routing_key(task))
+            server._count(requests=1, units=1)
+            return reply, False
+        if op == "batch":
+            tasks = payload.get("tasks")
+            if not isinstance(tasks, list):
+                raise ServiceError("batch needs a list 'tasks'")
+            reply = server.run_batch(tasks)
+            server._count(requests=1, batches=1, units=len(tasks))
+            return reply, False
+        if op == "search":
+            params = payload.get("params")
+            if not isinstance(params, dict):
+                raise ServiceError("search needs an object 'params'")
+            key = json.dumps(params, sort_keys=True, default=repr)
+            reply = server.forward(payload, key)
+            server._count(requests=1)
+            return reply, False
+        raise ServiceError(
+            f"unknown op {op!r}; supported: "
+            "ping, stats, evaluate, solve, batch, search, shutdown"
+        )
+    except ServiceOverloaded as exc:
+        retry_after = (
+            exc.retry_after if exc.retry_after is not None else DEFAULT_RETRY_AFTER
+        )
+        return overloaded_reply(str(exc), retry_after=retry_after), False
+    except ServiceError as exc:
+        # Keep the *type* on the wire: the client reconstructs it, so a
+        # transiently headless fleet stays retryable end to end.
+        return error_reply(str(exc), error_type=type(exc).__name__), False
+    except Exception as exc:  # a bug must not kill the orchestrator
+        return error_reply(str(exc), error_type=type(exc).__name__), False
+
+
+class _RequestHandler(socketserver.StreamRequestHandler):
+    """One connection: a loop of request frames until EOF or shutdown."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised via sockets
+        server: "OrchestratorServer" = self.server
+        while True:
+            try:
+                payload = recv_frame(self.rfile)
+            except ServiceError as exc:
+                try:
+                    send_frame(self.wfile, error_reply(str(exc)))
+                except OSError:
+                    pass
+                return
+            if payload is None:
+                return
+            if not server.try_begin_request(payload.get("op")):
+                try:
+                    send_frame(self.wfile, overloaded_reply(
+                        "orchestrator draining for shutdown",
+                        retry_after=DEFAULT_RETRY_AFTER,
+                    ))
+                except OSError:
+                    return
+                continue
+            try:
+                reply, stop = handle_orchestrator_request(server, payload)
+                try:
+                    send_frame(self.wfile, reply)
+                except OSError:
+                    return
+            finally:
+                server._end_request()
+            if stop:
+                threading.Thread(target=server.shutdown, daemon=True).start()
+                return
+
+
+class OrchestratorServer(socketserver.ThreadingTCPServer):
+    """Threaded loopback TCP front-end for a fleet of worker daemons."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self,
+        catalog: WorkerCatalog,
+        *,
+        strategy: str | RoutingStrategy = "fingerprint_affinity",
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        retry: RetryPolicy | None = None,
+        request_timeout: float | None = None,
+        connect_timeout: float | None = 5.0,
+        stats_timeout: float | None = 5.0,
+        ping_interval: float | None = None,
+        ping_timeout: float = 2.0,
+    ) -> None:
+        if ping_interval is not None and ping_interval <= 0:
+            raise ServiceError(
+                f"ping_interval must be > 0, got {ping_interval}"
+            )
+        self.catalog = catalog
+        self.strategy: RoutingStrategy = (
+            make_strategy(strategy) if isinstance(strategy, str) else strategy
+        )
+        #: Backoff between full failover sweeps (``None`` = one sweep).
+        self.retry = retry
+        self.stats_timeout = stats_timeout
+        self.ping_interval = ping_interval
+        self.ping_timeout = ping_timeout
+        self._pool = _WorkerClientPool(
+            timeout=request_timeout, connect_timeout=connect_timeout
+        )
+        self._rng = random.Random(retry.seed if retry is not None else None)
+        self._counters = {"requests": 0, "batches": 0, "units": 0, "failovers": 0}
+        self._counters_lock = threading.Lock()
+        self._started = time.monotonic()
+        self._stopping = False
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._drained = threading.Event()
+        self._drained.set()
+        self._ping_stop = threading.Event()
+        self._ping_thread: threading.Thread | None = None
+        super().__init__((host, port), _RequestHandler)
+        if ping_interval is not None:
+            self._ping_thread = threading.Thread(
+                target=self._ping_loop, daemon=True
+            )
+            self._ping_thread.start()
+
+    # ------------------------------------------------------------------
+    # Worker exchanges
+    # ------------------------------------------------------------------
+    def _send(
+        self,
+        worker: WorkerInfo,
+        payload: dict,
+        *,
+        timeout=_UNSET,
+        work: bool = True,
+    ) -> dict:
+        """One exchange with ``worker`` through the pool.
+
+        ``work=False`` marks control traffic (liveness pings, stats
+        fan-out) so the ``routed`` counter stays a pure work statistic.
+        Any completed exchange — including a reply-level rejection —
+        clears the worker's failure streak; only transport failures
+        propagate without touching it (the caller decides whether they
+        count toward eviction).
+        """
+        if work:
+            self.catalog.note_routed(worker.name)
+        self.catalog.begin(worker.name)
+        try:
+            try:
+                with self._pool.lease(worker) as client:
+                    if timeout is _UNSET:
+                        reply = client.request(payload)
+                    else:
+                        reply = client.request(payload, timeout=timeout)
+            except _FAILOVER_ERRORS:
+                raise
+            except ServiceError:
+                self.catalog.record_success(worker.name)
+                raise
+        finally:
+            self.catalog.end(worker.name)
+        self.catalog.record_success(worker.name)
+        return reply
+
+    def forward(self, payload: dict, key: str) -> dict:
+        """Route one whole request; fail over down the ranking.
+
+        Within a sweep every live candidate is tried once in strategy
+        order. Transport failures mark the worker (eviction after its
+        streak fills) and move on; shed requests skip the worker without
+        a mark. Between sweeps the retry policy backs off — honouring
+        the largest ``retry_after`` hint seen — until attempts run out.
+        """
+        sweeps = 0
+        max_sweeps = self.retry.max_attempts if self.retry is not None else 1
+        while True:
+            workers = self.catalog.live_workers()
+            if not workers:
+                raise ServiceUnavailable("no live workers in the fleet")
+            last_transient: ServiceError | None = None
+            overloaded: ServiceOverloaded | None = None
+            for worker in self.strategy.rank(key, workers):
+                try:
+                    return self._send(worker, payload)
+                except ServiceOverloaded as exc:
+                    if overloaded is None or (
+                        (exc.retry_after or 0) > (overloaded.retry_after or 0)
+                    ):
+                        overloaded = exc
+                except _FAILOVER_ERRORS as exc:
+                    last_transient = exc
+                    self.catalog.record_failure(worker.name, failover=True)
+                    self._count(failovers=1)
+            sweeps += 1
+            if sweeps >= max_sweeps:
+                if last_transient is not None:
+                    raise ServiceUnavailable(
+                        "every live worker failed the request; "
+                        f"last error: {last_transient}"
+                    )
+                raise overloaded
+            time.sleep(
+                self.retry.delay(
+                    sweeps - 1,
+                    retry_after=getattr(overloaded, "retry_after", None),
+                    rng=self._rng,
+                )
+            )
+
+    def run_batch(self, tasks: list) -> dict:
+        """Shard a batch across the fleet and merge replies in order."""
+        n = len(tasks)
+        values: list = [None] * n
+        failures: list[dict] = []
+        agg = {
+            "units": n,
+            "executed": 0,
+            "disk_hits": 0,
+            "memo_hits": 0,
+            "coalesced": 0,
+            "failures": 0,
+            "shards": 0,
+            "failovers": 0,
+        }
+        if n:
+            indexed = [
+                (i, task, task_routing_key(task)) for i, task in enumerate(tasks)
+            ]
+            self._dispatch_shards(
+                indexed, values, failures, agg, excluded=frozenset(), sweeps=0
+            )
+        failures.sort(key=lambda f: f.get("index", 0))
+        agg["failures"] = len(failures)
+        return {
+            "ok": True,
+            "op": "batch",
+            "values": values,
+            "failures": failures,
+            "stats": agg,
+        }
+
+    def _dispatch_shards(
+        self,
+        indexed: list[tuple[int, object, str]],
+        values: list,
+        failures: list[dict],
+        agg: dict,
+        *,
+        excluded: frozenset[str],
+        sweeps: int,
+    ) -> None:
+        """Dispatch ``(index, task, key)`` items; re-dispatch lost shards.
+
+        ``excluded`` holds workers that already failed these items in
+        the current sweep — a lost shard goes straight to its tasks'
+        next-ranked candidates instead of waiting for eviction. When
+        every live worker has been excluded the sweep is over: the retry
+        policy backs off and the exclusion set resets.
+        """
+        shards: dict[str, tuple[WorkerInfo, list]] = {}
+        for item in indexed:
+            workers = [
+                w for w in self.catalog.live_workers() if w.name not in excluded
+            ]
+            if not workers:
+                workers = self.catalog.live_workers()
+            if not workers:
+                raise ServiceUnavailable("no live workers in the fleet")
+            owner = self.strategy.rank(item[2], workers)[0]
+            shards.setdefault(owner.name, (owner, []))[1].append(item)
+        agg["shards"] += len(shards)
+
+        outcomes: list[tuple[str, WorkerInfo, list, object]] = []
+        outcomes_lock = threading.Lock()
+
+        def run_shard(owner: WorkerInfo, items: list) -> None:
+            payload = {"op": "batch", "tasks": [task for _, task, _ in items]}
+            try:
+                reply = self._send(owner, payload)
+            except ServiceOverloaded as exc:
+                with outcomes_lock:
+                    outcomes.append(("overloaded", owner, items, exc))
+            except _FAILOVER_ERRORS as exc:
+                self.catalog.record_failure(owner.name, failover=True)
+                self._count(failovers=1)
+                with outcomes_lock:
+                    outcomes.append(("lost", owner, items, exc))
+            else:
+                with outcomes_lock:
+                    outcomes.append(("ok", owner, items, reply))
+
+        groups = list(shards.values())
+        if len(groups) == 1:
+            run_shard(*groups[0])
+        else:
+            threads = [
+                threading.Thread(target=run_shard, args=group, daemon=True)
+                for group in groups
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        retry_items: list[tuple[int, object, str]] = []
+        failed_names: set[str] = set()
+        last_error: ServiceError | None = None
+        retry_after: float | None = None
+        for status, owner, items, extra in outcomes:
+            if status == "ok":
+                reply = extra
+                sub_values = reply.get("values", [])
+                for (index, _, _), value in zip(items, sub_values):
+                    values[index] = value
+                for failure in reply.get("failures", []):
+                    local = failure.get("index")
+                    record = dict(failure)
+                    if isinstance(local, int) and 0 <= local < len(items):
+                        record["index"] = items[local][0]
+                    failures.append(record)
+                sub_stats = reply.get("stats", {})
+                for field in ("executed", "disk_hits", "memo_hits", "coalesced"):
+                    agg[field] += int(sub_stats.get(field, 0) or 0)
+            else:
+                retry_items.extend(items)
+                failed_names.add(owner.name)
+                last_error = extra
+                if status == "overloaded" and extra.retry_after is not None:
+                    retry_after = max(retry_after or 0.0, extra.retry_after)
+                if status == "lost":
+                    agg["failovers"] += len(items)
+
+        if not retry_items:
+            return
+        retry_items.sort(key=lambda item: item[0])
+        new_excluded = excluded | failed_names
+        live = {w.name for w in self.catalog.live_workers()}
+        if not live:
+            raise ServiceUnavailable(
+                "no live workers in the fleet; "
+                f"last error: {last_error}"
+            )
+        if live - new_excluded:
+            # Same sweep: survivors remain — re-route the lost shard.
+            self._dispatch_shards(
+                retry_items, values, failures, agg,
+                excluded=new_excluded, sweeps=sweeps,
+            )
+            return
+        sweeps += 1
+        max_sweeps = self.retry.max_attempts if self.retry is not None else 1
+        if sweeps >= max_sweeps:
+            if isinstance(last_error, ServiceOverloaded):
+                raise last_error
+            raise ServiceUnavailable(
+                "every live worker failed the batch shard; "
+                f"last error: {last_error}"
+            )
+        time.sleep(
+            self.retry.delay(sweeps - 1, retry_after=retry_after, rng=self._rng)
+        )
+        self._dispatch_shards(
+            retry_items, values, failures, agg,
+            excluded=frozenset(), sweeps=sweeps,
+        )
+
+    # ------------------------------------------------------------------
+    # Fleet health
+    # ------------------------------------------------------------------
+    def check_workers(self) -> dict[str, bool]:
+        """Ping every cataloged worker once; returns ``{name: alive}``.
+
+        A success clears the failure streak (reviving an evicted worker);
+        a failure extends it (evicting after the threshold). Pings count
+        as health traffic, not routed work.
+        """
+        results: dict[str, bool] = {}
+        for worker in self.catalog.workers():
+            try:
+                self._send(
+                    worker, {"op": "ping"},
+                    timeout=self.ping_timeout, work=False,
+                )
+            except ServiceError:
+                self.catalog.record_failure(worker.name)
+                results[worker.name] = False
+            else:
+                results[worker.name] = True
+        return results
+
+    def _ping_loop(self) -> None:  # pragma: no cover - timing-dependent
+        while not self._ping_stop.wait(self.ping_interval):
+            try:
+                self.check_workers()
+            except Exception:
+                pass
+
+    def stats_reply(self) -> dict:
+        """The aggregated fleet view behind the ``stats`` op."""
+        rows: list[dict] = []
+        totals = {
+            "batches": 0,
+            "units": 0,
+            "executed": 0,
+            "disk_hits": 0,
+            "memo_hits": 0,
+            "failures": 0,
+        }
+        cache = {"requests": 0, "hits": 0, "misses": 0, "evictions": 0}
+        reporting = 0
+        for worker in self.catalog.workers():
+            reported = None
+            if worker.live:
+                try:
+                    reply = self._send(
+                        worker, {"op": "stats"},
+                        timeout=self.stats_timeout, work=False,
+                    )
+                except ServiceError:
+                    self.catalog.record_failure(worker.name)
+                else:
+                    reporting += 1
+                    counters = reply.get("counters") or {}
+                    requests = counters.get("requests") or {}
+                    for field in totals:
+                        totals[field] += int(requests.get(field, 0) or 0)
+                    structure = counters.get("structure_cache") or {}
+                    for field in cache:
+                        cache[field] += int(structure.get(field, 0) or 0)
+                    reported = {
+                        "version": reply.get("version"),
+                        "uptime_s": reply.get("uptime_s"),
+                        "in_flight": reply.get("in_flight"),
+                        "capacity": reply.get("capacity"),
+                        "shed": reply.get("shed"),
+                        "requests": requests,
+                        "structure_cache": structure,
+                    }
+            # Snapshot the row *after* the probe so a just-failed (or
+            # just-revived) worker reports its current liveness.
+            row = worker.stats()
+            row["reported"] = reported
+            rows.append(row)
+        lookups = cache["hits"] + cache["misses"]
+        aggregate = dict(cache)
+        aggregate["hit_rate"] = (cache["hits"] / lookups) if lookups else 0.0
+        with self._counters_lock:
+            local = dict(self._counters)
+        return {
+            "ok": True,
+            "op": "stats",
+            "role": "orchestrator",
+            "version": __version__,
+            "uptime_s": self.uptime_s,
+            "in_flight": self.in_flight,
+            "stopping": self.stopping,
+            "strategy": self.strategy.name,
+            "orchestrator": local,
+            "workers": rows,
+            "workers_reporting": reporting,
+            "totals": totals,
+            "structure_cache": aggregate,
+        }
+
+    def stop_workers(self, *, timeout: float = 5.0) -> dict[str, bool]:
+        """Best-effort ``shutdown`` to every cataloged worker.
+
+        Only the process that *owns* the workers (``repro.cli fleet``,
+        :func:`~repro.service.fleet.local_fleet`) calls this — an
+        orchestrator pointed at externally managed daemons must not tear
+        them down. Fresh connections are used so an in-flight lease is
+        never hijacked.
+        """
+        results: dict[str, bool] = {}
+        for worker in self.catalog.workers():
+            try:
+                with ServiceClient(
+                    worker.host, worker.port, timeout=timeout
+                ) as client:
+                    client.shutdown()
+                results[worker.name] = True
+            except ServiceError:
+                results[worker.name] = False
+        return results
+
+    # ------------------------------------------------------------------
+    # Counters
+    # ------------------------------------------------------------------
+    def _count(self, **deltas: int) -> None:
+        with self._counters_lock:
+            for key, delta in deltas.items():
+                self._counters[key] = self._counters.get(key, 0) + delta
+
+    # ------------------------------------------------------------------
+    # Admission (mirrors ServiceServer: control always passes, work is
+    # shed while draining; the orchestrator itself has no capacity —
+    # workers bound their own admission and overloads propagate back)
+    # ------------------------------------------------------------------
+    def try_begin_request(self, op: object = None) -> bool:
+        control = op in ("ping", "stats", "shutdown")
+        with self._inflight_lock:
+            if not control and self._stopping:
+                return False
+            self._inflight += 1
+            self._drained.clear()
+            return True
+
+    def _end_request(self) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._drained.set()
+
+    def begin_shutdown(self) -> None:
+        with self._inflight_lock:
+            self._stopping = True
+
+    def wait_for_inflight(self, timeout: float | None = None) -> bool:
+        return self._drained.wait(timeout)
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        with self._inflight_lock:
+            return self._inflight
+
+    @property
+    def stopping(self) -> bool:
+        with self._inflight_lock:
+            return self._stopping
+
+    @property
+    def uptime_s(self) -> float:
+        return time.monotonic() - self._started
+
+    @property
+    def endpoint(self) -> tuple[str, int]:
+        host, port = self.server_address[:2]
+        return host, port
+
+    def write_ready_file(self, path) -> None:
+        host, port = self.endpoint
+        publish_ready_file(path, host, port)
+
+    def server_close(self) -> None:
+        self._ping_stop.set()
+        if self._ping_thread is not None:
+            self._ping_thread.join(timeout=5.0)
+            self._ping_thread = None
+        super().server_close()
+        self._pool.close_all()
+
+
+def serve_orchestrator_in_thread(
+    catalog: WorkerCatalog,
+    *,
+    strategy: str | RoutingStrategy = "fingerprint_affinity",
+    host: str = DEFAULT_HOST,
+    port: int = 0,
+    retry: RetryPolicy | None = None,
+    request_timeout: float | None = None,
+    connect_timeout: float | None = 5.0,
+    ping_interval: float | None = None,
+) -> tuple[OrchestratorServer, threading.Thread]:
+    """Start an orchestrator on a background thread (ephemeral port).
+
+    The embedding entry point used by the tests, the fleet benchmark
+    and :func:`~repro.service.fleet.local_fleet`. The caller owns the
+    lifecycle::
+
+        orch, thread = serve_orchestrator_in_thread(catalog)
+        ... ServiceClient(*orch.endpoint) ...
+        orch.shutdown(); orch.server_close(); thread.join()
+    """
+    server = OrchestratorServer(
+        catalog,
+        strategy=strategy,
+        host=host,
+        port=port,
+        retry=retry,
+        request_timeout=request_timeout,
+        connect_timeout=connect_timeout,
+        ping_interval=ping_interval,
+    )
+    thread = threading.Thread(
+        target=lambda: server.serve_forever(poll_interval=0.02), daemon=True
+    )
+    thread.start()
+    return server, thread

@@ -10,6 +10,7 @@ a dict; requests carry an ``op`` field, replies an ``ok`` field.
 from __future__ import annotations
 
 import json
+import os
 from typing import BinaryIO
 
 from repro.exceptions import ServiceError
@@ -108,3 +109,56 @@ def parse_endpoint(
     if not 0 < port < 65536:
         raise ServiceError(f"service port out of range: {port}")
     return host, port
+
+
+def parse_endpoints(
+    text: str, *, default_host: str = DEFAULT_HOST
+) -> list[tuple[str, int]]:
+    """Comma-separated endpoint list → validated ``[(host, port), …]``.
+
+    The fleet-facing form of :func:`parse_endpoint` (``cli serve --role
+    orchestrator --workers HOST:PORT,…``): every entry is validated in
+    place, a malformed or empty one is reported with its position, and
+    duplicates are rejected — two catalog entries proxying the same
+    daemon would double-count its shard.
+    """
+    entries = [entry.strip() for entry in text.split(",")]
+    if entries == [""]:
+        raise ServiceError("expected at least one HOST:PORT endpoint, got ''")
+    endpoints: list[tuple[str, int]] = []
+    seen: dict[tuple[str, int], int] = {}
+    for position, entry in enumerate(entries, start=1):
+        if not entry:
+            raise ServiceError(
+                f"empty endpoint at entry {position} of {text!r}; "
+                "expected a comma-separated list of HOST:PORT"
+            )
+        try:
+            endpoint = parse_endpoint(entry, default_host=default_host)
+        except ServiceError as exc:
+            raise ServiceError(f"entry {position} of {text!r}: {exc}") from None
+        if endpoint in seen:
+            raise ServiceError(
+                f"duplicate endpoint {entry!r} (entries {seen[endpoint]} "
+                f"and {position} of {text!r} name the same worker)"
+            )
+        seen[endpoint] = position
+        endpoints.append(endpoint)
+    return endpoints
+
+
+def publish_ready_file(
+    path: str | os.PathLike, host: str, port: int
+) -> None:
+    """Atomically write the ``{host, port, pid}`` startup handshake file.
+
+    Scripts that launch a server in the background poll for this file to
+    learn the bound (possibly ephemeral) port; the atomic replace means
+    a reader never sees a half-written JSON object.
+    """
+    payload = {"host": host, "port": port, "pid": os.getpid()}
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)

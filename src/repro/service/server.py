@@ -34,7 +34,6 @@ service.
 
 from __future__ import annotations
 
-import json
 import os
 import socketserver
 import threading
@@ -49,6 +48,7 @@ from repro.service.protocol import (
     DEFAULT_PORT,
     error_reply,
     overloaded_reply,
+    publish_ready_file,
     recv_frame,
     send_frame,
 )
@@ -89,6 +89,7 @@ def handle_request(server: "ServiceServer", payload: dict) -> tuple[dict, bool]:
             return {
                 "ok": True,
                 "op": "ping",
+                "role": "worker",
                 "version": __version__,
                 "uptime_s": server.uptime_s,
                 "in_flight": server.in_flight,
@@ -98,6 +99,7 @@ def handle_request(server: "ServiceServer", payload: dict) -> tuple[dict, bool]:
             return {
                 "ok": True,
                 "op": "stats",
+                "role": "worker",
                 "version": __version__,
                 "uptime_s": server.uptime_s,
                 "in_flight": server.in_flight,
@@ -335,12 +337,7 @@ class ServiceServer(socketserver.ThreadingTCPServer):
     def write_ready_file(self, path: str | os.PathLike) -> None:
         """Atomically publish the bound endpoint for scripts to discover."""
         host, port = self.endpoint
-        payload = {"host": host, "port": port, "pid": os.getpid()}
-        tmp = f"{path}.tmp"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh, sort_keys=True)
-            fh.write("\n")
-        os.replace(tmp, path)
+        publish_ready_file(path, host, port)
 
 
 def serve_in_thread(

@@ -1,0 +1,632 @@
+"""Tests for the fleet tier (`repro.service` orchestrator + routing).
+
+Covers the endpoint-list parsing, the worker catalog's liveness
+bookkeeping, the routing-strategy registry (round_robin / worst_fit /
+fingerprint_affinity — including the rendezvous-hash minimal-disruption
+property: evicting a worker moves only the keys it owned), the
+orchestrator end-to-end over real sockets (request-order batch merging,
+per-task failure re-indexing, fleet stats aggregation math), failover
+(a worker killed mid-campaign completes with zero lost or duplicated
+units and a byte-identical store), and the CLI surface
+(``serve --role orchestrator``, fleet-aware ``ping``/``stats``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.campaign import ResultStore, get_preset, run_campaign
+from repro.cli import main
+from repro.evaluate import StructureCache, evaluate
+from repro.exceptions import (
+    ServiceError,
+    ServiceUnavailable,
+)
+from repro.mapping.examples import single_communication
+from repro.service import (
+    RetryPolicy,
+    ServiceClient,
+    WorkerCatalog,
+    available_strategies,
+    local_fleet,
+    make_strategy,
+    parse_endpoints,
+    task_routing_key,
+)
+from repro.service.catalog import WorkerInfo
+
+
+def pattern_task(u: int = 2, v: int = 2, *, solver: str = "deterministic",
+                 comm_time: float = 1.0) -> dict:
+    return {
+        "system": {
+            "kind": "single_communication",
+            "params": {"u": u, "v": v, "comm_time": comm_time},
+        },
+        "solver": solver,
+        "model": "overlap",
+        "options": {},
+    }
+
+
+def distinct_tasks(n: int) -> list[dict]:
+    """``n`` structurally distinct cheap tasks."""
+    pairs = [(1 + i % 3, 1 + i // 3) for i in range(n)]
+    assert len(set(pairs)) == n
+    return [pattern_task(u, v) for u, v in pairs]
+
+
+# ----------------------------------------------------------------------
+# parse_endpoints
+# ----------------------------------------------------------------------
+class TestParseEndpoints:
+    def test_host_port_list(self):
+        assert parse_endpoints("127.0.0.1:7781,10.0.0.2:80") == [
+            ("127.0.0.1", 7781), ("10.0.0.2", 80),
+        ]
+
+    def test_bare_ports_get_default_host(self):
+        assert parse_endpoints("7781, 7782") == [
+            ("127.0.0.1", 7781), ("127.0.0.1", 7782),
+        ]
+
+    def test_single_entry(self):
+        assert parse_endpoints("host:1234") == [("host", 1234)]
+
+    def test_empty_string_rejected(self):
+        with pytest.raises(ServiceError, match="at least one"):
+            parse_endpoints("")
+
+    def test_empty_entry_reports_position(self):
+        with pytest.raises(ServiceError, match="entry 2"):
+            parse_endpoints("7781,,7783")
+
+    def test_malformed_entry_reports_position(self):
+        with pytest.raises(ServiceError, match="entry 2.*HOST:PORT"):
+            parse_endpoints("7781,nope")
+
+    def test_out_of_range_port_reports_position(self):
+        with pytest.raises(ServiceError, match="entry 1.*out of range"):
+            parse_endpoints("99999,7781")
+
+    def test_duplicates_rejected_with_both_positions(self):
+        with pytest.raises(ServiceError, match="entries 1 and 3"):
+            parse_endpoints("7781,7782,127.0.0.1:7781")
+
+
+# ----------------------------------------------------------------------
+# WorkerCatalog
+# ----------------------------------------------------------------------
+class TestWorkerCatalog:
+    def test_auto_names_are_stable_and_sequential(self):
+        catalog = WorkerCatalog()
+        names = [catalog.register("h", 7000 + i).name for i in range(3)]
+        assert names == ["w0", "w1", "w2"]
+        assert [w.name for w in catalog.workers()] == names
+        assert len(catalog) == 3
+
+    def test_duplicate_name_and_endpoint_rejected(self):
+        catalog = WorkerCatalog()
+        catalog.register("h", 7000, name="a")
+        with pytest.raises(ServiceError, match="already registered"):
+            catalog.register("h", 7001, name="a")
+        with pytest.raises(ServiceError, match="7000"):
+            catalog.register("h", 7000)
+
+    def test_eviction_at_threshold_and_revival(self):
+        catalog = WorkerCatalog(max_consecutive_failures=3)
+        catalog.register("h", 7000, name="a")
+        assert catalog.record_failure("a") is False
+        assert catalog.record_failure("a") is False
+        assert catalog.record_failure("a") is True  # evicted now
+        assert catalog.live_workers() == []
+        assert catalog.get("a").evictions == 1
+        catalog.record_success("a")  # a later successful ping revives
+        assert [w.name for w in catalog.live_workers()] == ["a"]
+        assert catalog.get("a").consecutive_failures == 0
+
+    def test_success_resets_streak_before_eviction(self):
+        catalog = WorkerCatalog(max_consecutive_failures=2)
+        catalog.register("h", 7000, name="a")
+        catalog.record_failure("a")
+        catalog.record_success("a")
+        assert catalog.record_failure("a") is False  # streak restarted
+        assert catalog.get("a").live
+
+    def test_traffic_accounting(self):
+        catalog = WorkerCatalog()
+        catalog.register("h", 7000, name="a")
+        catalog.begin("a")
+        catalog.note_routed("a")
+        assert catalog.get("a").in_flight == 1
+        assert catalog.get("a").routed == 1
+        catalog.end("a")
+        assert catalog.get("a").in_flight == 0
+        catalog.record_failure("a", failover=True)
+        assert catalog.get("a").failovers == 1
+
+    def test_remove_and_unknown_names(self):
+        catalog = WorkerCatalog()
+        catalog.register("h", 7000, name="a")
+        assert catalog.remove("a").name == "a"
+        assert len(catalog) == 0
+        with pytest.raises(ServiceError, match="unknown worker"):
+            catalog.remove("a")
+        with pytest.raises(ServiceError, match="unknown worker"):
+            catalog.get("a")
+
+    def test_stats_rows_include_evicted(self):
+        catalog = WorkerCatalog(max_consecutive_failures=1)
+        catalog.register("h", 7000, name="a")
+        catalog.register("h", 7001, name="b")
+        catalog.record_failure("a")
+        rows = catalog.stats()
+        assert [r["name"] for r in rows] == ["a", "b"]
+        assert rows[0]["live"] is False and rows[1]["live"] is True
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ServiceError, match="max_consecutive_failures"):
+            WorkerCatalog(max_consecutive_failures=0)
+
+
+# ----------------------------------------------------------------------
+# Routing strategies
+# ----------------------------------------------------------------------
+def _workers(n: int) -> list[WorkerInfo]:
+    return [WorkerInfo(name=f"w{i}", host="h", port=7000 + i) for i in range(n)]
+
+
+class TestRoutingRegistry:
+    def test_builtins_registered(self):
+        assert available_strategies() == (
+            "fingerprint_affinity", "round_robin", "worst_fit",
+        )
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(ServiceError, match="round_robin"):
+            make_strategy("best_fit")
+
+    def test_bad_options_raise_service_error(self):
+        with pytest.raises(ServiceError, match="cannot configure"):
+            make_strategy("round_robin", replicas=3)
+
+
+class TestRoundRobin:
+    def test_rotates_one_step_per_request(self):
+        strategy = make_strategy("round_robin")
+        workers = _workers(3)
+        first = [strategy.rank("k", workers)[0].name for _ in range(6)]
+        assert first == ["w0", "w1", "w2", "w0", "w1", "w2"]
+
+    def test_ranking_is_a_permutation(self):
+        strategy = make_strategy("round_robin")
+        workers = _workers(4)
+        ranked = strategy.rank("k", workers)
+        assert sorted(w.name for w in ranked) == ["w0", "w1", "w2", "w3"]
+
+    def test_empty_pool(self):
+        assert make_strategy("round_robin").rank("k", []) == []
+
+
+class TestWorstFit:
+    def test_least_depth_first(self):
+        workers = _workers(3)
+        workers[0].in_flight = 2
+        workers[1].in_flight = 0
+        workers[2].in_flight = 1
+        ranked = make_strategy("worst_fit").rank("k", workers)
+        assert [w.name for w in ranked] == ["w1", "w2", "w0"]
+
+    def test_ties_break_by_name(self):
+        workers = list(reversed(_workers(3)))  # presented w2, w1, w0
+        ranked = make_strategy("worst_fit").rank("k", workers)
+        assert [w.name for w in ranked] == ["w0", "w1", "w2"]
+
+
+class TestFingerprintAffinity:
+    def test_deterministic_ranking(self):
+        strategy = make_strategy("fingerprint_affinity")
+        workers = _workers(4)
+        for key in ("a", "b", "c"):
+            r1 = [w.name for w in strategy.rank(key, workers)]
+            r2 = [w.name for w in make_strategy(
+                "fingerprint_affinity").rank(key, list(reversed(workers)))]
+            assert r1 == r2  # same key, same ranking, any presentation order
+
+    def test_keys_spread_over_workers(self):
+        strategy = make_strategy("fingerprint_affinity")
+        workers = _workers(4)
+        owners = {
+            f"key{i}": strategy.rank(f"key{i}", workers)[0].name
+            for i in range(200)
+        }
+        counts = {name: 0 for name in ("w0", "w1", "w2", "w3")}
+        for owner in owners.values():
+            counts[owner] += 1
+        # All four workers own a meaningful shard (rendezvous balance).
+        assert all(count >= 20 for count in counts.values()), counts
+
+    def test_eviction_moves_only_the_evicted_workers_keys(self):
+        strategy = make_strategy("fingerprint_affinity")
+        workers = _workers(4)
+        keys = [f"key{i}" for i in range(200)]
+        before = {k: strategy.rank(k, workers)[0].name for k in keys}
+        survivors = [w for w in workers if w.name != "w2"]
+        after = {k: strategy.rank(k, survivors)[0].name for k in keys}
+        moved = [k for k in keys if before[k] != after[k]]
+        # Exactly the evicted worker's keys move — nothing else.
+        assert set(moved) == {k for k in keys if before[k] == "w2"}
+        # ... and each lands on its second choice from the full ranking.
+        for key in moved:
+            full = [w.name for w in strategy.rank(key, workers)]
+            assert after[key] == full[1]
+
+    def test_rejoin_restores_original_owners(self):
+        strategy = make_strategy("fingerprint_affinity")
+        workers = _workers(4)
+        keys = [f"key{i}" for i in range(50)]
+        before = {k: strategy.rank(k, workers)[0].name for k in keys}
+        again = {k: strategy.rank(k, list(workers))[0].name for k in keys}
+        assert before == again
+
+
+class TestTaskRoutingKey:
+    def test_same_structure_different_timing_same_key(self):
+        # comm_time changes firing times, not topology: same structure
+        # fingerprint, same shard — the shared reachability exploration
+        # stays hot for both.
+        a = task_routing_key(pattern_task(2, 3, comm_time=1.0))
+        b = task_routing_key(pattern_task(2, 3, comm_time=2.0))
+        assert a == b
+
+    def test_different_topology_different_key(self):
+        assert task_routing_key(pattern_task(2, 3)) != task_routing_key(
+            pattern_task(3, 2)
+        )
+
+    def test_model_is_part_of_the_key(self):
+        strict = dict(pattern_task(2, 2), model="strict")
+        assert task_routing_key(pattern_task(2, 2)) != task_routing_key(strict)
+
+    def test_garbage_task_still_routes(self):
+        key = task_routing_key({"system": {"kind": "nope"}})
+        assert isinstance(key, str) and key
+        assert key == task_routing_key({"system": {"kind": "nope"}})
+        assert isinstance(task_routing_key(object()), str)
+
+
+# ----------------------------------------------------------------------
+# Orchestrator end-to-end (real sockets, in-process fleet)
+# ----------------------------------------------------------------------
+class TestOrchestratorEndToEnd:
+    def test_values_match_direct_evaluation(self):
+        tasks = distinct_tasks(5)
+        direct = [
+            evaluate(
+                single_communication(
+                    t["system"]["params"]["u"], t["system"]["params"]["v"],
+                    comm_time=1.0,
+                ),
+                solver="deterministic", model="overlap",
+                cache=StructureCache(),
+            )
+            for t in tasks
+        ]
+        with local_fleet(3) as fleet:
+            with fleet.client() as client:
+                values, failures, stats = client.evaluate_batch(tasks)
+                single = client.evaluate(tasks[0])
+        assert failures == []
+        assert values == direct  # merged back in request order, exactly
+        assert single == direct[0]
+        assert stats["units"] == 5 and stats["executed"] == 5
+
+    def test_batch_failures_reindexed_to_request_order(self):
+        tasks = distinct_tasks(4)
+        tasks[1] = {"system": {"kind": "nope"}, "solver": "deterministic",
+                    "model": "overlap", "options": {}}
+        with local_fleet(3) as fleet:
+            with fleet.client() as client:
+                values, failures, _stats = client.evaluate_batch(tasks)
+        assert [f["index"] for f in failures] == [1]
+        assert values[1] is None
+        assert all(values[i] is not None for i in (0, 2, 3))
+
+    def test_stats_totals_equal_sum_of_worker_rows(self):
+        with local_fleet(3, strategy="round_robin") as fleet:
+            with fleet.client() as client:
+                client.evaluate_batch(distinct_tasks(6))
+                client.evaluate(pattern_task(3, 3))
+                stats = client.stats()
+        assert stats["role"] == "orchestrator"
+        rows = stats["workers"]
+        reported = [r["reported"]["requests"] for r in rows]
+        for field in ("units", "executed", "batches", "memo_hits"):
+            assert stats["totals"][field] == sum(
+                r.get(field, 0) for r in reported
+            ), field
+        assert stats["totals"]["units"] == 7
+        agg = stats["structure_cache"]
+        assert agg["hits"] + agg["misses"] == agg["requests"]
+        assert stats["orchestrator"]["units"] == 7
+        assert stats["orchestrator"]["batches"] == 1
+
+    def test_round_robin_spreads_traffic_over_all_workers(self):
+        with local_fleet(2, strategy="round_robin") as fleet:
+            with fleet.client() as client:
+                client.evaluate_batch(distinct_tasks(4))
+                stats = client.stats()
+        routed = {r["name"]: r["routed"] for r in stats["workers"]}
+        assert routed["w0"] > 0 and routed["w1"] > 0
+
+    def test_affinity_dedupes_repeats_where_round_robin_pays_twice(self):
+        task = pattern_task(2, 3)
+
+        def executed_after_two_evaluates(strategy: str) -> int:
+            with local_fleet(2, strategy=strategy) as fleet:
+                with fleet.client() as client:
+                    first = client.evaluate(task)
+                    second = client.evaluate(task)
+                    stats = client.stats()
+            assert first == second
+            return stats["totals"]["executed"]
+
+        # Affinity lands both on one worker: the second is a memo hit.
+        assert executed_after_two_evaluates("fingerprint_affinity") == 1
+        # Round robin alternates two workers: both pay the cold miss.
+        assert executed_after_two_evaluates("round_robin") == 2
+
+    def test_ping_reports_fleet_summary(self):
+        with local_fleet(2) as fleet:
+            with fleet.client() as client:
+                reply = client.ping()
+        assert reply["role"] == "orchestrator"
+        assert reply["counters"] is None
+        assert reply["workers"] == {"total": 2, "live": 2}
+        assert reply["strategy"] == "fingerprint_affinity"
+
+    def test_search_forwarded_to_a_worker(self):
+        with local_fleet(2) as fleet:
+            with fleet.client() as client:
+                result = client.search(
+                    works=[1.0, 2.0], speeds=[1.0, 1.0, 1.0],
+                    restarts=1, seed=0,
+                )
+        assert result["throughput"] > 0
+        assert result["evaluations"] > 0
+
+    def test_solve_forwarded(self):
+        with local_fleet(2) as fleet:
+            with fleet.client() as client:
+                value = client.solve("example_a")
+        assert value > 0
+
+    def test_empty_batch(self):
+        with local_fleet(2) as fleet:
+            with fleet.client() as client:
+                values, failures, stats = client.evaluate_batch([])
+        assert values == [] and failures == []
+        assert stats["units"] == 0
+
+
+# ----------------------------------------------------------------------
+# Failover
+# ----------------------------------------------------------------------
+class TestFailover:
+    def test_batch_survives_worker_killed_between_requests(self):
+        tasks = distinct_tasks(6)
+        with local_fleet(3, retry=RetryPolicy(
+            max_attempts=3, base_delay=0.01, max_delay=0.05, seed=0,
+        )) as fleet:
+            with fleet.client() as client:
+                before, fail_before, _ = client.evaluate_batch(tasks)
+                fleet.kill_worker("w1")
+                after, fail_after, stats = client.evaluate_batch(tasks)
+        assert fail_before == [] and fail_after == []
+        assert after == before  # no lost, duplicated or reordered units
+        assert len(after) == len(tasks)
+        # The dead worker's shard was re-dispatched to survivors.
+        assert stats["executed"] + stats["memo_hits"] + stats[
+            "disk_hits"] == len(tasks)
+
+    def test_single_op_fails_over_to_next_candidate(self):
+        task = pattern_task(2, 3)
+        with local_fleet(2) as fleet:
+            with fleet.client() as client:
+                first = client.evaluate(task)
+                # Kill whichever worker affinity owns for this key.
+                owner = max(
+                    fleet.catalog.stats(), key=lambda r: r["routed"]
+                )["name"]
+                fleet.kill_worker(owner)
+                second = client.evaluate(task)
+                stats = client.stats()
+        assert second == first
+        rows = {r["name"]: r for r in stats["workers"]}
+        assert rows[owner]["failovers"] >= 1
+
+    def test_dropped_reply_mid_batch_is_retried_not_lost(self):
+        # drop:1 severs the connection before the reply — the shard
+        # dies mid-request exactly like a crashed worker, and the
+        # re-dispatch must neither lose nor duplicate units.
+        tasks = distinct_tasks(6)
+        with local_fleet(3, faults={1: "drop:1"}, retry=RetryPolicy(
+            max_attempts=3, base_delay=0.01, max_delay=0.05, seed=0,
+        )) as fleet:
+            with fleet.client() as client:
+                values, failures, _stats = client.evaluate_batch(tasks)
+                stats = client.stats()
+        assert failures == []
+        assert all(v is not None for v in values)
+        # The drop consumed its budget against exactly one shard.
+        assert stats["orchestrator"]["failovers"] >= 1
+        assert stats["totals"]["units"] >= len(tasks)  # retried shard re-ran
+
+    def test_worker_evicted_after_consecutive_failures_then_excluded(self):
+        with local_fleet(2, strategy="round_robin", retry=RetryPolicy(
+            max_attempts=2, base_delay=0.01, max_delay=0.02, seed=0,
+        )) as fleet:
+            fleet.kill_worker("w0")
+            with fleet.client() as client:
+                for task in distinct_tasks(6):
+                    client.evaluate(task)
+                stats = client.stats()
+        rows = {r["name"]: r for r in stats["workers"]}
+        assert rows["w0"]["live"] is False
+        assert rows["w0"]["evictions"] == 1
+        assert rows["w1"]["live"] is True
+
+    def test_whole_fleet_down_raises_unavailable(self):
+        with local_fleet(2, retry=RetryPolicy(
+            max_attempts=2, base_delay=0.01, max_delay=0.02, seed=0,
+        )) as fleet:
+            fleet.kill_worker("w0")
+            fleet.kill_worker("w1")
+            with fleet.client() as client:
+                with pytest.raises(ServiceUnavailable):
+                    client.request(
+                        {"op": "evaluate", "task": pattern_task()}, retry=None
+                    )
+
+    def test_check_workers_evicts_and_revives(self):
+        with local_fleet(2) as fleet:
+            orch = fleet.orchestrator
+            assert orch.check_workers() == {"w0": True, "w1": True}
+            fleet.kill_worker("w1")
+            for _ in range(fleet.catalog.max_consecutive_failures):
+                results = orch.check_workers()
+            assert results == {"w0": True, "w1": False}
+            assert [w.name for w in fleet.catalog.live_workers()] == ["w0"]
+
+
+class TestKilledMidCampaign:
+    def test_store_byte_identical_and_no_lost_units(self, tmp_path):
+        """The PR acceptance proof: a worker dies *while* a campaign is
+        streaming through the orchestrator; the campaign completes with
+        zero lost or duplicated run units and the store is
+        byte-identical to a direct in-process run."""
+        spec = get_preset("smoke")
+        direct_store = ResultStore(tmp_path / "direct.jsonl")
+        run_campaign(spec, direct_store)
+
+        fleet_path = tmp_path / "fleet.jsonl"
+        with local_fleet(3, retry=RetryPolicy(
+            max_attempts=4, base_delay=0.01, max_delay=0.05, seed=0,
+        )) as fleet:
+            host, port = fleet.endpoint
+            killer = threading.Timer(0.05, fleet.kill_worker, args=("w1",))
+            killer.start()
+            try:
+                client = ServiceClient(
+                    host, port, retry=RetryPolicy(max_attempts=4, seed=0)
+                )
+                with client:
+                    summary = run_campaign(
+                        spec, ResultStore(fleet_path), client=client
+                    )
+            finally:
+                killer.cancel()
+                killer.join()
+        assert summary.executed == summary.total
+        assert summary.skipped == 0
+        assert fleet_path.read_bytes() == (
+            tmp_path / "direct.jsonl"
+        ).read_bytes()
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+@pytest.fixture
+def cli_fleet():
+    """A 2-worker in-process fleet for CLI probes."""
+    with local_fleet(2, strategy="round_robin") as fleet:
+        yield fleet
+
+
+class TestFleetCli:
+    def test_orchestrator_role_requires_workers(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--role", "orchestrator", "--port", "0"])
+        assert exc.value.code == 2
+
+    def test_workers_flag_requires_orchestrator_role(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--port", "0", "--workers", "127.0.0.1:7781"])
+        assert exc.value.code == 2
+
+    def test_malformed_worker_list_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            main([
+                "serve", "--role", "orchestrator", "--port", "0",
+                "--workers", "7781,nope",
+            ])
+        assert exc.value.code == 2
+
+    def test_unknown_strategy_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            main([
+                "serve", "--role", "orchestrator", "--port", "0",
+                "--workers", "7781", "--strategy", "best_fit",
+            ])
+        assert exc.value.code == 2
+
+    def test_fleet_rejects_bad_n_workers(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["fleet", "--n-workers", "0", "--port", "0"])
+        assert exc.value.code == 2
+
+    def test_ping_renders_fleet_summary(self, cli_fleet, capsys):
+        host, port = cli_fleet.endpoint
+        assert main(["ping", "--host", host, "--port", str(port)]) == 0
+        out = capsys.readouterr().out
+        assert "role       : orchestrator (round_robin)" in out
+        assert "workers    : 2/2 live" in out
+
+    def test_ping_json_includes_fleet_fields(self, cli_fleet, capsys):
+        host, port = cli_fleet.endpoint
+        assert main([
+            "ping", "--host", host, "--port", str(port), "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["role"] == "orchestrator"
+        assert payload["workers"] == {"total": 2, "live": 2}
+        assert payload["counters"] is None
+
+    def test_stats_renders_worker_table(self, cli_fleet, capsys):
+        with cli_fleet.client() as client:
+            client.evaluate_batch(distinct_tasks(4))
+        host, port = cli_fleet.endpoint
+        assert main(["stats", "--host", host, "--port", str(port)]) == 0
+        out = capsys.readouterr().out
+        assert "orchestrator: strategy=round_robin" in out
+        assert "fleet totals: 4 units, 4 executed" in out
+        for column in ("worker", "endpoint", "live", "routed", "failov"):
+            assert column in out
+        assert "w0" in out and "w1" in out
+
+    def test_stats_json_mode_is_raw_aggregate(self, cli_fleet, capsys):
+        host, port = cli_fleet.endpoint
+        assert main([
+            "stats", "--host", host, "--port", str(port), "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["role"] == "orchestrator"
+        assert [w["name"] for w in payload["workers"]] == ["w0", "w1"]
+
+    def test_stats_unreachable_exits_1(self, capsys):
+        assert main([
+            "stats", "--port", "1", "--timeout", "0.3", "--retries", "1",
+        ]) == 1
+        assert "stats failed" in capsys.readouterr().err
+
+    def test_shutdown_stops_orchestrator(self, capsys):
+        with local_fleet(2) as fleet:
+            host, port = fleet.endpoint
+            assert main([
+                "shutdown", "--host", host, "--port", str(port),
+            ]) == 0
+            assert "stopped" in capsys.readouterr().out
