@@ -60,12 +60,35 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 import statistics
+import subprocess
 import time
 from collections.abc import Callable
 from functools import partial
 
 import numpy as np
+
+
+def _git_revision() -> str | None:
+    """The repo's short HEAD revision, or None outside a git checkout.
+
+    Recorded into every report's ``meta`` so a BENCH_*.json file stays
+    attributable to the exact tree that produced it even after it is
+    copied out of the repository.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    revision = out.stdout.strip()
+    return revision if out.returncode == 0 and revision else None
 
 
 def _timed(fn: Callable[[], object], repeats: int) -> tuple[float, object]:
@@ -761,6 +784,9 @@ def run_benchmarks(
             "workloads": list(selected),
             "numpy": np.__version__,
             "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "git_revision": _git_revision(),
         },
         "engines": engines,
         "speedups": {

@@ -116,6 +116,7 @@ def run_campaign(
     resume: bool = False,
     cache: StructureCache | None = None,
     client: "ServiceClient | None" = None,
+    record_request_ids: bool = False,
 ) -> CampaignRunSummary:
     """Execute every pending unit of ``spec`` into ``store``.
 
@@ -132,7 +133,18 @@ def run_campaign(
     chunks of at least 16 (one round trip and one crash-loss bound per
     chunk, batches big enough for the server's pool to fan out); worker
     fan-out belongs to the server, not this process's ``n_jobs``.
+
+    ``record_request_ids=True`` (service runs only) stamps every store
+    row with the ``request_id`` of the chunk that scored it, joinable
+    against the fleet's flight recorders via ``repro.cli trace``. It is
+    opt-in precisely because it breaks the byte-identity guarantee
+    above: rows gain a provenance field an in-process run cannot have.
     """
+    if record_request_ids and client is None:
+        raise CampaignError(
+            "record_request_ids needs a service client: trace ids are "
+            "minted per request by ServiceClient"
+        )
     units = expand(spec)
     if len(store) and not resume:
         raise CampaignError(
@@ -189,8 +201,10 @@ def run_campaign(
                 pool = ProcessPoolExecutor(max_workers=n_jobs)
             for start in range(0, len(pending), chunk_size):
                 chunk = pending[start:start + chunk_size]
+                request_id = None
                 if client is not None:
                     values = _run_chunk_via_service(chunk, client)
+                    request_id = client.last_request_id
                 else:
                     values = evaluate_tasks(
                         [_unit_task(u) for u in chunk],
@@ -199,7 +213,10 @@ def run_campaign(
                         pool=pool,
                     )
                 for unit, value in zip(chunk, values):
-                    store.append(unit_record(unit, value))
+                    record = unit_record(unit, value)
+                    if record_request_ids and request_id is not None:
+                        record["request_id"] = request_id
+                    store.append(record)
                     executed += 1
     finally:
         if pool is not None:
@@ -224,8 +241,15 @@ def _run_chunk_via_service(
     exhausted retry budget) surfaces as :class:`CampaignError` —
     everything already appended resumes cleanly, exactly like a local
     crash. The client's retry policy has already absorbed transient
-    faults by the time an exception reaches this frame.
+    faults by the time an exception reaches this frame. Error messages
+    carry the chunk's trace id when one was minted, so a failed chunk
+    can be walked through the fleet's flight recorders with
+    ``repro.cli trace``.
     """
+    def _trace_hint() -> str:
+        rid = client.last_request_id
+        return f" [request {rid}]" if rid else ""
+
     try:
         values, failures, _stats = client.evaluate_batch(
             [unit_task_payload(u) for u in chunk]
@@ -233,21 +257,25 @@ def _run_chunk_via_service(
     except ServiceOverloaded as exc:
         raise CampaignError(
             f"service execution failed: server overloaded and retries "
-            f"exhausted ({exc}); rerun to resume from the store"
+            f"exhausted ({exc}){_trace_hint()}; rerun to resume from the store"
         ) from None
     except ServiceTimeout as exc:
         raise CampaignError(
-            f"service execution failed: deadline exceeded ({exc}); "
+            f"service execution failed: deadline exceeded "
+            f"({exc}){_trace_hint()}; "
             "raise --request-timeout or rerun to resume from the store"
         ) from None
     except ServiceError as exc:
-        raise CampaignError(f"service execution failed: {exc}") from None
+        raise CampaignError(
+            f"service execution failed: {exc}{_trace_hint()}"
+        ) from None
     if failures:
         first = failures[0]
         unit = chunk[first.get("index", 0)]
         raise CampaignError(
             f"service failed {len(failures)} unit(s); first: scenario "
-            f"{unit.scenario!r} ({first.get('error')}: {first.get('message')})"
+            f"{unit.scenario!r} ({first.get('error')}: "
+            f"{first.get('message')}){_trace_hint()}"
         )
     if len(values) != len(chunk):
         raise CampaignError(

@@ -17,21 +17,33 @@ Usage::
     python -m repro.cli serve --port 7781 --cache service_cache.jsonl
     python -m repro.cli serve --port 7781 --capacity 8 --retry-after 0.5
     python -m repro.cli serve --port 7781 --faults drop:2,crash:1   # chaos
+    python -m repro.cli serve --port 7781 --recorder flight.jsonl \
+        --slow-threshold 0.5
     python -m repro.cli serve --role orchestrator --port 7790 \
         --workers 127.0.0.1:7781,127.0.0.1:7782
     python -m repro.cli fleet --n-workers 4 --port 7790 --max-entries 64
+    python -m repro.cli fleet --n-workers 2 --recorder-dir flight/
     python -m repro.cli submit --port 7781 --preset smoke
     python -m repro.cli ping --port 7781
     python -m repro.cli stats --port 7781
+    python -m repro.cli stats --port 7790 --watch --interval 2
+    python -m repro.cli metrics --port 7790             # Prometheus text
+    python -m repro.cli metrics --port 7790 --json      # raw snapshot
+    python -m repro.cli trace 1f2e3d4c5b6a7988 --recorder-dir flight/
     python -m repro.cli shutdown --port 7781
     python -m repro.cli bench --quick --output BENCH_PR4.json
     python -m repro.cli bench --workloads replication --output rep.json
 
 Exit-code contract of the service probes (for CI and operators):
-``ping``/``stats`` exit 0 when a server answers on the endpoint and 1
-when none does; ``submit`` exits 0 when every unit scored and 1 when
-any failed; ``shutdown`` exits 0 once the server acknowledged, 1 if
-unreachable.
+``ping``/``stats``/``metrics`` exit 0 when a server answers on the
+endpoint and 1 when none does; ``submit`` exits 0 when every unit
+scored and 1 when any failed; ``shutdown`` exits 0 once the server
+acknowledged, 1 if unreachable; ``trace`` exits 0 when the request id
+was found in at least one recorder file and 1 otherwise.
+
+Global flags: ``-v``/``--verbose`` (repeatable: INFO, then DEBUG) and
+``--log-json`` (one JSON object per log line) configure the ``repro``
+logger tree before the subcommand runs.
 """
 
 from __future__ import annotations
@@ -143,6 +155,28 @@ def _cmd_search(args, parser) -> int:
 _SUBMIT_CHUNK = 256
 
 
+def _make_recorder(args, parser):
+    """Build the serve command's optional flight recorder from its flags."""
+    if args.slow_threshold is not None and args.slow_threshold <= 0:
+        parser.error("--slow-threshold must be > 0")
+    if args.recorder_max_bytes < 4096:
+        parser.error("--recorder-max-bytes must be >= 4096")
+    if not args.recorder:
+        if args.slow_threshold is not None:
+            parser.error("--slow-threshold requires --recorder")
+        return None
+    from repro.telemetry import FlightRecorder
+
+    try:
+        return FlightRecorder(
+            args.recorder,
+            max_bytes=args.recorder_max_bytes,
+            slow_threshold_s=args.slow_threshold,
+        )
+    except OSError as exc:
+        parser.error(f"cannot open --recorder {args.recorder}: {exc}")
+
+
 def _cmd_serve_orchestrator(args, parser) -> int:
     from repro.exceptions import ServiceError
     from repro.service import (
@@ -171,6 +205,7 @@ def _cmd_serve_orchestrator(args, parser) -> int:
         RetryPolicy(max_attempts=args.failover_sweeps)
         if args.failover_sweeps > 1 else None
     )
+    recorder = _make_recorder(args, parser)
     try:
         server = OrchestratorServer(
             catalog,
@@ -179,6 +214,7 @@ def _cmd_serve_orchestrator(args, parser) -> int:
             port=args.port,
             retry=retry,
             ping_interval=args.ping_interval,
+            recorder=recorder,
         )
     except OSError as exc:
         parser.error(f"cannot bind {args.host}:{args.port}: {exc}")
@@ -192,6 +228,8 @@ def _cmd_serve_orchestrator(args, parser) -> int:
     print("workers    : " + ", ".join(
         f"{w.name}={w.endpoint}" for w in catalog.workers()
     ))
+    if recorder is not None:
+        print(f"recorder   : {args.recorder}")
     sys.stdout.flush()
     try:
         server.serve_forever()
@@ -200,6 +238,8 @@ def _cmd_serve_orchestrator(args, parser) -> int:
     finally:
         server.server_close()
         server.wait_for_inflight(timeout=600.0)
+        if recorder is not None:
+            recorder.close()
     print("stopped")
     return 0
 
@@ -242,6 +282,7 @@ def _cmd_serve(args, parser) -> int:
             disk = DiskScoreCache(args.cache)
         except (CampaignError, OSError) as exc:
             parser.error(str(exc))
+    recorder = _make_recorder(args, parser)
     engine = EvaluationEngine(
         n_jobs=args.n_jobs,
         disk=disk,
@@ -257,6 +298,7 @@ def _cmd_serve(args, parser) -> int:
             capacity=args.capacity,
             retry_after=args.retry_after,
             faults=faults,
+            recorder=recorder,
         )
     except OSError as exc:
         parser.error(f"cannot bind {args.host}:{args.port}: {exc}")
@@ -269,6 +311,8 @@ def _cmd_serve(args, parser) -> int:
     print(f"capacity   : {args.capacity or '(unbounded)'}")
     if faults is not None:
         print(f"faults     : {faults!r}")
+    if recorder is not None:
+        print(f"recorder   : {args.recorder}")
     sys.stdout.flush()
     try:
         server.serve_forever()
@@ -281,6 +325,8 @@ def _cmd_serve(args, parser) -> int:
         # before the process exits (idle connections don't block it).
         server.wait_for_inflight(timeout=600.0)
         engine.close()
+        if recorder is not None:
+            recorder.close()
     print("stopped")
     return 0
 
@@ -312,6 +358,19 @@ def _cmd_fleet(args, parser) -> int:
             os.makedirs(args.cache_dir, exist_ok=True)
         except OSError as exc:
             parser.error(f"cannot create --cache-dir {args.cache_dir}: {exc}")
+    recorder = None
+    if args.recorder_dir:
+        from repro.telemetry import FlightRecorder
+
+        try:
+            os.makedirs(args.recorder_dir, exist_ok=True)
+            recorder = FlightRecorder(
+                os.path.join(args.recorder_dir, "orchestrator.jsonl")
+            )
+        except OSError as exc:
+            parser.error(
+                f"cannot create --recorder-dir {args.recorder_dir}: {exc}"
+            )
 
     catalog = WorkerCatalog(max_consecutive_failures=args.max_worker_failures)
     procs: list = []
@@ -325,12 +384,17 @@ def _cmd_fleet(args, parser) -> int:
                     os.path.join(args.cache_dir, f"worker{index}.jsonl")
                     if args.cache_dir else None
                 )
+                worker_recorder = (
+                    os.path.join(args.recorder_dir, f"w{index}.jsonl")
+                    if args.recorder_dir else None
+                )
                 procs.append((
                     spawn_worker(
                         ready,
                         n_jobs=args.worker_n_jobs,
                         max_entries=args.max_entries,
                         cache=cache,
+                        recorder=worker_recorder,
                     ),
                     ready,
                 ))
@@ -353,6 +417,7 @@ def _cmd_fleet(args, parser) -> int:
                 port=args.port,
                 retry=RetryPolicy(),
                 ping_interval=args.ping_interval,
+                recorder=recorder,
             )
         except OSError as exc:
             print(
@@ -367,6 +432,8 @@ def _cmd_fleet(args, parser) -> int:
         print("workers    : " + ", ".join(
             f"{w.name}={w.endpoint}" for w in catalog.workers()
         ))
+        if args.recorder_dir:
+            print(f"recorders  : {args.recorder_dir}")
         sys.stdout.flush()
         try:
             server.serve_forever()
@@ -379,6 +446,8 @@ def _cmd_fleet(args, parser) -> int:
             # The fleet owns its workers: ask each daemon to stop, then
             # reap the subprocesses (hard-kill only the unresponsive).
             server.stop_workers()
+        if recorder is not None:
+            recorder.close()
         for proc, _ in procs:
             try:
                 proc.wait(timeout=10.0)
@@ -520,23 +589,130 @@ def _render_fleet_stats(stats: dict) -> None:
 
 
 def _cmd_stats(args, parser) -> int:
+    import time
+
+    from repro.exceptions import ServiceError
+
+    if args.interval <= 0:
+        parser.error("--interval must be > 0")
+    if args.count is not None and args.count < 1:
+        parser.error("--count must be >= 1")
+    rounds = (args.count or (2 ** 31)) if args.watch else 1
+    for round_index in range(rounds):
+        if round_index:
+            try:
+                time.sleep(args.interval)
+            except KeyboardInterrupt:  # pragma: no cover - interactive only
+                return 0
+            print()
+        try:
+            with _service_client(args) as client:
+                stats = client.stats()
+        except ServiceError as exc:
+            print(f"stats failed: {exc}", file=sys.stderr)
+            return 1
+        if stats.get("role") == "orchestrator" and not args.json:
+            # The fleet view gets an operator table; --json restores the
+            # raw aggregate for jq/grep consumers.
+            _render_fleet_stats(stats)
+        else:
+            # Worker daemons always dump pure JSON: this is the
+            # operator/CI introspection surface, meant for jq/grep
+            # (admission depth, shed count, pool restarts).
+            print(json.dumps(stats, indent=2, sort_keys=True))
+        sys.stdout.flush()
+    return 0
+
+
+def _cmd_metrics(args, parser) -> int:
     from repro.exceptions import ServiceError
 
     try:
         with _service_client(args) as client:
-            stats = client.stats()
+            reply = client.metrics()
     except ServiceError as exc:
-        print(f"stats failed: {exc}", file=sys.stderr)
+        print(f"metrics failed: {exc}", file=sys.stderr)
         return 1
-    if stats.get("role") == "orchestrator" and not args.json:
-        # The fleet view gets an operator table; --json restores the
-        # raw aggregate for jq/grep consumers.
-        _render_fleet_stats(stats)
+    if args.json:
+        # Pure-JSON mode: the merged snapshot, pipeable to jq.
+        payload = {
+            "role": reply.get("role"),
+            "version": reply.get("version"),
+            "metrics": reply.get("metrics") or {},
+        }
+        if "workers_reporting" in reply:
+            payload["workers_reporting"] = reply["workers_reporting"]
+        print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
-    # Worker daemons always dump pure JSON: this is the operator/CI
-    # introspection surface, meant for jq/grep (admission depth, shed
-    # count, pool restarts).
-    print(json.dumps(stats, indent=2, sort_keys=True))
+    # Default: Prometheus text exposition, scrapeable as-is.
+    print(reply.get("exposition", ""), end="")
+    return 0
+
+
+def _trace_paths(args, parser) -> list:
+    from pathlib import Path
+
+    from repro.telemetry.recorder import recorder_files
+
+    paths: list[Path] = [Path(p) for p in (args.recorder or [])]
+    if args.recorder_dir:
+        directory = Path(args.recorder_dir)
+        if not directory.is_dir():
+            parser.error(f"--recorder-dir {args.recorder_dir} is not a directory")
+        paths.extend(recorder_files(directory))
+    if not paths:
+        parser.error("pass --recorder FILE (repeatable) and/or --recorder-dir DIR")
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        parser.error(
+            "recorder file(s) not found: " + ", ".join(str(p) for p in missing)
+        )
+    return paths
+
+
+def _cmd_trace(args, parser) -> int:
+    from repro.telemetry import find_trace
+
+    events = find_trace(args.request_id, _trace_paths(args, parser))
+    if args.json:
+        print(json.dumps(
+            [{"file": name, **event} for name, event in events],
+            indent=2, sort_keys=True,
+        ))
+        return 0 if events else 1
+    if not events:
+        print(f"request {args.request_id}: no recorder events found")
+        return 1
+    print(f"request {args.request_id}: {len(events)} event(s)")
+    for name, event in events:
+        node = event.get("node", "?")
+        kind = event.get("kind", "?")
+        line = f"  {name:16s} {node:12s} {kind:8s}"
+        if kind == "hop":
+            status = event.get("status", "?")
+            line += f" -> {event.get('worker', '?')} [{status}]"
+            if event.get("units") is not None:
+                line += f" units={event['units']}"
+            if event.get("error"):
+                line += f" error={event['error']}"
+        else:
+            op = event.get("op")
+            if op:
+                line += f" op={op}"
+            if event.get("ok") is False:
+                line += " FAILED"
+            if event.get("slow"):
+                line += " SLOW"
+        spans = event.get("spans") or {}
+        if spans:
+            line += "  " + " ".join(
+                f"{key}={value * 1e3:.2f}ms"
+                for key, value in sorted(spans.items())
+                if isinstance(value, (int, float))
+            )
+        elif event.get("duration_s") is not None:
+            line += f"  total_s={event['duration_s'] * 1e3:.2f}ms"
+        print(line)
     return 0
 
 
@@ -714,6 +890,10 @@ def _cmd_campaign(args, parser) -> int:
     # campaign run
     if args.n_jobs < 1:
         parser.error("--n-jobs must be >= 1")
+    if args.record_request_ids and not args.via_service:
+        # Trace ids are minted by the service client; an in-process run
+        # has none to record.
+        parser.error("--record-request-ids requires --via-service")
     client = None
     if args.via_service:
         from repro.exceptions import ServiceError
@@ -737,7 +917,12 @@ def _cmd_campaign(args, parser) -> int:
         )
     try:
         summary = run_campaign(
-            spec, store, n_jobs=args.n_jobs, resume=args.resume, client=client
+            spec,
+            store,
+            n_jobs=args.n_jobs,
+            resume=args.resume,
+            client=client,
+            record_request_ids=args.record_request_ids,
         )
     except CampaignError as exc:
         parser.error(str(exc))
@@ -758,6 +943,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="log INFO from the repro.* loggers; repeat for DEBUG",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit one JSON object per log line instead of plain text",
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments and campaign presets")
@@ -886,6 +1079,13 @@ def main(argv: list[str] | None = None) -> int:
         "(timeouts, dropped connections, overload); 1 disables retries "
         "(default: %(default)s)",
     )
+    crun.add_argument(
+        "--record-request-ids",
+        action="store_true",
+        help="stamp each --via-service store row with the trace id of the "
+        "chunk that produced it (joinable against 'repro.cli trace'; "
+        "off by default so stores stay byte-identical to in-process runs)",
+    )
     creport.add_argument(
         "--campaign", default=None,
         help="only report records of this campaign name",
@@ -946,6 +1146,21 @@ def main(argv: list[str] | None = None) -> int:
         "--faults", default=None, metavar="SPEC",
         help="fault-injection spec, e.g. 'drop:2,crash:1,delay:1:0.5' "
         "(chaos testing; default: the REPRO_FAULTS environment variable)",
+    )
+    servep.add_argument(
+        "--recorder", default=None, metavar="FILE",
+        help="flight-recorder JSONL file: one event per traced request "
+        "('repro.cli trace' joins these across a fleet; default: off)",
+    )
+    servep.add_argument(
+        "--recorder-max-bytes", type=int, default=16_000_000,
+        help="rotate the recorder file past this size "
+        "(default: %(default)s)",
+    )
+    servep.add_argument(
+        "--slow-threshold", type=float, default=None, metavar="SECONDS",
+        help="recorder events at least this slow are marked and logged "
+        "at WARNING (default: off; requires --recorder)",
     )
 
     from repro.service.routing import available_strategies
@@ -1027,6 +1242,12 @@ def main(argv: list[str] | None = None) -> int:
         "(worker<k>.jsonl; default: memory only)",
     )
     fleetp.add_argument(
+        "--recorder-dir", default=None, metavar="DIR",
+        help="directory for per-node flight recorders (w<k>.jsonl per "
+        "worker plus orchestrator.jsonl, joinable on request_id via "
+        "'repro.cli trace --recorder-dir DIR'; default: off)",
+    )
+    fleetp.add_argument(
         "--ready-file", default=None, metavar="FILE",
         help="write the orchestrator's {host, port, pid} JSON here once "
         "the whole fleet is up",
@@ -1046,6 +1267,12 @@ def main(argv: list[str] | None = None) -> int:
         help="dump a running service's admission/shedding/pool statistics "
         "as JSON (exit 0: alive, 1: unreachable)",
     )
+    metricsp = sub.add_parser(
+        "metrics",
+        help="scrape a running service's metrics registry (Prometheus "
+        "text by default; orchestrators merge the whole fleet's "
+        "histograms; exit 0: alive, 1: unreachable)",
+    )
     submitp = sub.add_parser(
         "submit",
         help="submit work to a running service "
@@ -1054,7 +1281,7 @@ def main(argv: list[str] | None = None) -> int:
     shutdownp = sub.add_parser(
         "shutdown", help="stop a running service cleanly"
     )
-    for sp in (pingp, statsp, submitp, shutdownp):
+    for sp in (pingp, statsp, metricsp, submitp, shutdownp):
         sp.add_argument("--host", default=DEFAULT_HOST)
         sp.add_argument("--port", type=int, default=DEFAULT_PORT)
         sp.add_argument(
@@ -1082,6 +1309,48 @@ def main(argv: list[str] | None = None) -> int:
         "--json", action="store_true",
         help="force raw JSON output (orchestrators render a per-worker "
         "table otherwise; plain workers always print JSON)",
+    )
+    statsp.add_argument(
+        "--watch", action="store_true",
+        help="keep polling instead of sampling once (Ctrl-C to stop)",
+    )
+    statsp.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="--watch polling period (default: %(default)s)",
+    )
+    statsp.add_argument(
+        "--count", type=int, default=None, metavar="N",
+        help="stop --watch after N samples (default: until interrupted)",
+    )
+    metricsp.add_argument(
+        "--json", action="store_true",
+        help="dump the merged metrics snapshot as JSON instead of "
+        "Prometheus text exposition",
+    )
+    tracep = sub.add_parser(
+        "trace",
+        help="reconstruct one traced request's path (client id -> "
+        "orchestrator hops -> workers) from flight-recorder files "
+        "(exit 0: found, 1: no events)",
+    )
+    tracep.add_argument(
+        "request_id",
+        help="the trace id (ServiceClient.last_request_id, a failure "
+        "record's request_id, or a campaign row recorded with "
+        "--record-request-ids)",
+    )
+    tracep.add_argument(
+        "--recorder", action="append", default=None, metavar="FILE",
+        help="a flight-recorder JSONL file to search (repeatable)",
+    )
+    tracep.add_argument(
+        "--recorder-dir", default=None, metavar="DIR",
+        help="search every *.jsonl recorder in this directory "
+        "(the layout 'repro.cli fleet --recorder-dir' writes)",
+    )
+    tracep.add_argument(
+        "--json", action="store_true",
+        help="dump the matching events as JSON instead of a span table",
     )
     submitp.add_argument(
         "--preset",
@@ -1148,6 +1417,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    from repro.telemetry import configure_logging
+
+    configure_logging(verbose=args.verbose, log_json=args.log_json)
+
     if args.command == "solve":
         return _cmd_solve(args, parser)
     if args.command == "search":
@@ -1162,6 +1435,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_ping(args, parser)
     if args.command == "stats":
         return _cmd_stats(args, parser)
+    if args.command == "metrics":
+        return _cmd_metrics(args, parser)
+    if args.command == "trace":
+        return _cmd_trace(args, parser)
     if args.command == "submit":
         return _cmd_submit(args, parser)
     if args.command == "shutdown":

@@ -46,13 +46,25 @@ class TaskFailure:
 
     error: str
     message: str
+    #: Trace id of the request this failure was answered under, when it
+    #: travelled through the service (None for direct batch runs).
+    request_id: str | None = None
 
     def to_dict(self) -> dict:
-        return {"error": self.error, "message": self.message}
+        record = {"error": self.error, "message": self.message}
+        if self.request_id is not None:
+            record["request_id"] = self.request_id
+        return record
 
     @classmethod
     def of(cls, exc: BaseException) -> "TaskFailure":
         return cls(error=type(exc).__name__, message=str(exc))
+
+    def stamp(self, request_id: str | None) -> "TaskFailure":
+        """A copy carrying the trace id (self when there is nothing to add)."""
+        if request_id is None or self.request_id is not None:
+            return self
+        return dataclasses.replace(self, request_id=request_id)
 
 
 def resolve_solver(solver: ThroughputSolver | str, options: dict) -> ThroughputSolver:

@@ -34,6 +34,14 @@ over a loopback socket:
   fails over when one dies mid-request, and aggregates fleet
   statistics — behind ``repro.cli serve --role orchestrator`` and
   ``repro.cli fleet``.
+
+Observability (see :mod:`repro.telemetry`): every frame may carry a
+``request_id`` trace token (minted by :class:`ServiceClient`, forwarded
+into sub-batches and failover re-dispatches), every tier registers into
+a process-local metrics registry exposed by the ``metrics`` op (JSON +
+Prometheus text, fleet-merged on the orchestrator), and servers can log
+one JSONL event per request/hop to a crash-safe flight recorder that
+``repro.cli trace`` joins across files.
 """
 
 from repro.service.catalog import WorkerCatalog, WorkerInfo

@@ -48,6 +48,7 @@ from repro.service.protocol import (
     recv_frame,
     send_frame,
 )
+from repro.telemetry import new_request_id
 
 #: Sentinel distinguishing "not passed" from an explicit ``None``
 #: (``None`` means "no deadline" / "no retries" respectively).
@@ -134,6 +135,13 @@ class ServiceClient:
         self.retry = retry
         #: Transport retries this client performed (for operators/tests).
         self.retries = 0
+        #: Trace id of the most recent request (minted per logical
+        #: request and reused across its retries, so one id follows the
+        #: request through orchestrator and worker flight recorders).
+        self.last_request_id: str | None = None
+        #: The ``telemetry`` block of the most recent successful work
+        #: reply (per-hop span timings), or None.
+        self.last_telemetry: dict | None = None
         self._rng = random.Random(retry.seed if retry is not None else None)
         self._sock: socket.socket | None = None
         self._rfile = None
@@ -226,6 +234,7 @@ class ServiceClient:
             if error_type == "ServiceTimeout":
                 raise ServiceTimeout(message)
             raise ServiceError(message)
+        self.last_telemetry = reply.get("telemetry")
         return reply
 
     def request(self, payload: dict, *, timeout=_UNSET, retry=_UNSET) -> dict:
@@ -236,7 +245,15 @@ class ServiceClient:
         (``None`` = exactly one attempt). Only the transient error types
         are retried; each retry reconnects and re-sends — safe for the
         idempotent protocol operations.
+
+        Every frame carries a ``request_id`` trace token, minted here
+        unless the caller supplied one; retries re-send the *same* id,
+        so a request that failed over inside the fleet is still one
+        trace in the flight recorders.
         """
+        if "request_id" not in payload:
+            payload = dict(payload, request_id=new_request_id())
+        self.last_request_id = payload["request_id"]
         policy = self.retry if retry is _UNSET else retry
         if policy is None:
             return self._request_once(payload, timeout=timeout)
@@ -290,6 +307,17 @@ class ServiceClient:
         an overloaded server still answers it within the deadline.
         """
         reply = self.request({"op": "stats"}, timeout=timeout)
+        return {k: v for k, v in reply.items() if k not in ("ok", "op")}
+
+    def metrics(self, *, timeout=_UNSET) -> dict:
+        """Scrape the server's metrics registry.
+
+        Returns ``{"metrics": snapshot, "exposition": text, ...}`` —
+        the JSON snapshot for programs, the Prometheus text exposition
+        for scrapers. An orchestrator answers with the fleet-merged
+        histograms and counters plus ``workers_reporting``.
+        """
+        reply = self.request({"op": "metrics"}, timeout=timeout)
         return {k: v for k, v in reply.items() if k not in ("ok", "op")}
 
     def evaluate(self, task: dict, *, timeout=_UNSET) -> float:

@@ -28,6 +28,7 @@ import subprocess
 import sys
 import threading
 import time
+from pathlib import Path
 
 from repro.exceptions import ServiceError, ServiceTimeout
 from repro.service.catalog import WorkerCatalog
@@ -41,6 +42,7 @@ from repro.service.protocol import DEFAULT_HOST
 from repro.service.routing import RoutingStrategy
 from repro.service.server import ServiceServer
 from repro.service.workers import EvaluationEngine
+from repro.telemetry import FlightRecorder
 
 
 class _KillableServiceServer(ServiceServer):
@@ -146,6 +148,8 @@ class LocalFleet:
         worker.server.server_close()
         worker.server.kill_connections()
         worker.engine.close()
+        if worker.server.recorder is not None:
+            worker.server.recorder.close()
         worker.thread.join(timeout=5.0)
 
     def stop_worker(self, name: str) -> None:
@@ -158,6 +162,8 @@ class LocalFleet:
         worker.server.server_close()
         worker.server.wait_for_inflight(timeout=10.0)
         worker.engine.close()
+        if worker.server.recorder is not None:
+            worker.server.recorder.close()
         worker.thread.join(timeout=5.0)
 
     def close(self) -> None:
@@ -166,6 +172,8 @@ class LocalFleet:
         self.orchestrator.server_close()
         self.orchestrator.wait_for_inflight(timeout=30.0)
         self._orchestrator_thread.join(timeout=5.0)
+        if self.orchestrator.recorder is not None:
+            self.orchestrator.recorder.close()
         for worker in self.workers:
             self.stop_worker(worker.name)
 
@@ -183,6 +191,7 @@ def local_fleet(
     connect_timeout: float | None = 2.0,
     ping_interval: float | None = None,
     faults: dict[int, str] | None = None,
+    recorder_dir: str | os.PathLike | None = None,
 ):
     """An orchestrator fronting ``n_workers`` in-process daemons.
 
@@ -192,7 +201,10 @@ def local_fleet(
     fleet's *aggregate* cache capacity scales with its size, which is
     exactly what the ``service.fleet`` benchmark measures on one core.
     ``faults`` maps worker index → :class:`FaultInjector` spec (e.g.
-    ``{1: "drop:1"}``) for failover tests.
+    ``{1: "drop:1"}``) for failover tests. ``recorder_dir`` switches the
+    flight recorders on: one ``w<k>.jsonl`` per worker plus
+    ``orchestrator.jsonl``, all joinable on ``request_id`` (the trace
+    tests and ``repro.cli trace`` read these back).
     """
     if n_workers < 1:
         raise ServiceError(f"n_workers must be >= 1, got {n_workers}")
@@ -204,12 +216,18 @@ def local_fleet(
             engine = EvaluationEngine(n_jobs=n_jobs, max_entries=max_entries)
             spec = (faults or {}).get(index)
             injector = FaultInjector.from_spec(spec) if spec else None
+            recorder = (
+                FlightRecorder(Path(recorder_dir) / f"w{index}.jsonl")
+                if recorder_dir is not None
+                else None
+            )
             server = _KillableServiceServer(
                 engine,
                 host=DEFAULT_HOST,
                 port=0,
                 capacity=capacity,
                 faults=injector,
+                recorder=recorder,
             )
             thread = threading.Thread(
                 target=lambda srv=server: srv.serve_forever(poll_interval=0.02),
@@ -227,6 +245,11 @@ def local_fleet(
             request_timeout=request_timeout,
             connect_timeout=connect_timeout,
             ping_interval=ping_interval,
+            recorder=(
+                FlightRecorder(Path(recorder_dir) / "orchestrator.jsonl")
+                if recorder_dir is not None
+                else None
+            ),
         )
         fleet = LocalFleet(catalog, orchestrator, orch_thread, workers)
         yield fleet
@@ -254,6 +277,7 @@ def spawn_worker(
     cache: str | os.PathLike | None = None,
     capacity: int | None = None,
     faults: str | None = None,
+    recorder: str | os.PathLike | None = None,
     python: str | None = None,
     stdout=subprocess.DEVNULL,
     stderr=None,
@@ -284,6 +308,8 @@ def spawn_worker(
         argv += ["--capacity", str(capacity)]
     if faults:
         argv += ["--faults", faults]
+    if recorder is not None:
+        argv += ["--recorder", str(recorder)]
     env = dict(os.environ)
     source_root = os.path.dirname(
         os.path.dirname(os.path.dirname(os.path.abspath(__file__)))

@@ -44,6 +44,7 @@ import random
 import socketserver
 import threading
 import time
+from collections.abc import Callable
 
 from repro._version import __version__
 from repro.exceptions import (
@@ -64,7 +65,17 @@ from repro.service.protocol import (
     send_frame,
 )
 from repro.service.routing import RoutingStrategy, make_strategy, task_routing_key
-from repro.service.server import DEFAULT_RETRY_AFTER
+from repro.service.server import DEFAULT_RETRY_AFTER, WORK_OPS
+from repro.telemetry import (
+    FlightRecorder,
+    MetricsRegistry,
+    get_logger,
+    merge_snapshots,
+    render_prometheus,
+)
+from repro.telemetry.clock import monotonic_clock
+
+log = get_logger("service.orchestrator")
 
 #: Sentinel for "use the pool client's default deadline".
 _UNSET = object()
@@ -165,8 +176,11 @@ def handle_orchestrator_request(
             }, False
         if op == "stats":
             return server.stats_reply(), False
+        if op == "metrics":
+            return server.metrics_reply(), False
         if op == "shutdown":
             server.begin_shutdown()
+            log.info("orchestrator shutdown requested; draining")
             return {"ok": True, "op": "shutdown", "role": "orchestrator"}, True
         if op in ("evaluate", "solve"):
             if op == "solve":
@@ -184,14 +198,14 @@ def handle_orchestrator_request(
                 }
             else:
                 task = payload.get("task")
-            reply = server.forward(payload, task_routing_key(task))
+            reply = server.forward_traced(payload, task_routing_key(task))
             server._count(requests=1, units=1)
             return reply, False
         if op == "batch":
             tasks = payload.get("tasks")
             if not isinstance(tasks, list):
                 raise ServiceError("batch needs a list 'tasks'")
-            reply = server.run_batch(tasks)
+            reply = server.run_batch(tasks, request_id=payload.get("request_id"))
             server._count(requests=1, batches=1, units=len(tasks))
             return reply, False
         if op == "search":
@@ -199,12 +213,12 @@ def handle_orchestrator_request(
             if not isinstance(params, dict):
                 raise ServiceError("search needs an object 'params'")
             key = json.dumps(params, sort_keys=True, default=repr)
-            reply = server.forward(payload, key)
+            reply = server.forward_traced(payload, key)
             server._count(requests=1)
             return reply, False
         raise ServiceError(
             f"unknown op {op!r}; supported: "
-            "ping, stats, evaluate, solve, batch, search, shutdown"
+            "ping, stats, metrics, evaluate, solve, batch, search, shutdown"
         )
     except ServiceOverloaded as exc:
         retry_after = (
@@ -245,7 +259,9 @@ class _RequestHandler(socketserver.StreamRequestHandler):
                     return
                 continue
             try:
+                started = server.clock()
                 reply, stop = handle_orchestrator_request(server, payload)
+                server.finalize_reply(payload, reply, server.clock() - started)
                 try:
                     send_frame(self.wfile, reply)
                 except OSError:
@@ -276,6 +292,9 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
         stats_timeout: float | None = 5.0,
         ping_interval: float | None = None,
         ping_timeout: float = 2.0,
+        recorder: FlightRecorder | None = None,
+        metrics: MetricsRegistry | None = None,
+        clock: Callable[[], float] = monotonic_clock,
     ) -> None:
         if ping_interval is not None and ping_interval <= 0:
             raise ServiceError(
@@ -304,7 +323,56 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
         self._drained.set()
         self._ping_stop = threading.Event()
         self._ping_thread: threading.Thread | None = None
+        self.recorder = recorder
+        self.clock = clock
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        m = self.metrics
+        m.counter(
+            "repro_orchestrator_requests_total", "work requests handled",
+            fn=lambda: self._counters["requests"],
+        )
+        m.counter(
+            "repro_orchestrator_batches_total", "batches sharded",
+            fn=lambda: self._counters["batches"],
+        )
+        m.counter(
+            "repro_orchestrator_units_total", "tasks received",
+            fn=lambda: self._counters["units"],
+        )
+        m.counter(
+            "repro_orchestrator_failovers_total", "shards/requests re-dispatched",
+            fn=lambda: self._counters["failovers"],
+        )
+        m.gauge(
+            "repro_fleet_workers", "cataloged workers",
+            fn=lambda: len(self.catalog),
+        )
+        m.gauge(
+            "repro_fleet_live_workers", "workers currently live",
+            fn=lambda: len(self.catalog.live_workers()),
+        )
+        m.gauge(
+            "repro_orchestrator_in_flight", "dispatched requests awaiting a reply",
+            fn=lambda: self.in_flight,
+        )
+        m.gauge(
+            "repro_orchestrator_uptime_seconds", "seconds since start",
+            fn=lambda: self.uptime_s,
+        )
+        self._hist_route = m.histogram(
+            "repro_orchestrator_route_seconds", "time spent ranking/sharding"
+        )
+        self._hist_merge = m.histogram(
+            "repro_orchestrator_merge_seconds", "time spent folding shard replies"
+        )
+        self._hist_request = m.histogram(
+            "repro_orchestrator_request_seconds", "work-request latency at the orchestrator"
+        )
         super().__init__((host, port), _RequestHandler)
+        log.info(
+            "orchestrator serving on %s:%d (strategy=%s, workers=%d)",
+            *self.endpoint, self.strategy.name, len(self.catalog),
+        )
         if ping_interval is not None:
             self._ping_thread = threading.Thread(
                 target=self._ping_loop, daemon=True
@@ -351,7 +419,32 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
         self.catalog.record_success(worker.name)
         return reply
 
-    def forward(self, payload: dict, key: str) -> dict:
+    def forward_traced(self, payload: dict, key: str) -> dict:
+        """:meth:`forward`, wrapped with hop accounting and span timing.
+
+        The worker's own ``telemetry`` block is folded into this hop's
+        entry, so the reply the client sees has one orchestrator-level
+        block whose ``hops`` list tells the whole story — including the
+        workers that lost the request before one answered.
+        """
+        started = self.clock()
+        hops: list[dict] = []
+        try:
+            reply = self.forward(payload, key, hops=hops)
+        finally:
+            total_s = self.clock() - started
+            self._hist_request.observe(total_s)
+        request_id = payload.get("request_id")
+        if request_id is not None:
+            reply["telemetry"] = {
+                "request_id": request_id,
+                "node": "orchestrator",
+                "spans": {"total_s": round(total_s, 6)},
+                "hops": hops,
+            }
+        return reply
+
+    def forward(self, payload: dict, key: str, hops: list | None = None) -> dict:
         """Route one whole request; fail over down the ranking.
 
         Within a sweep every live candidate is tried once in strategy
@@ -359,6 +452,7 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
         streak fills) and move on; shed requests skip the worker without
         a mark. Between sweeps the retry policy backs off — honouring
         the largest ``retry_after`` hint seen — until attempts run out.
+        ``hops`` (when given) accumulates one record per worker tried.
         """
         sweeps = 0
         max_sweeps = self.retry.max_attempts if self.retry is not None else 1
@@ -370,16 +464,37 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
             overloaded: ServiceOverloaded | None = None
             for worker in self.strategy.rank(key, workers):
                 try:
-                    return self._send(worker, payload)
+                    reply = self._send(worker, payload)
                 except ServiceOverloaded as exc:
+                    if hops is not None:
+                        hops.append({"worker": worker.name, "status": "overloaded"})
                     if overloaded is None or (
                         (exc.retry_after or 0) > (overloaded.retry_after or 0)
                     ):
                         overloaded = exc
                 except _FAILOVER_ERRORS as exc:
+                    if hops is not None:
+                        hops.append({
+                            "worker": worker.name,
+                            "status": "lost",
+                            "error": type(exc).__name__,
+                        })
+                    log.warning(
+                        "request to worker %s failed (%s); failing over",
+                        worker.name, type(exc).__name__,
+                    )
                     last_transient = exc
                     self.catalog.record_failure(worker.name, failover=True)
                     self._count(failovers=1)
+                else:
+                    if hops is not None:
+                        worker_tel = reply.pop("telemetry", None)
+                        hops.append({
+                            "worker": worker.name,
+                            "status": "ok",
+                            "spans": (worker_tel or {}).get("spans"),
+                        })
+                    return reply
             sweeps += 1
             if sweeps >= max_sweeps:
                 if last_transient is not None:
@@ -396,8 +511,16 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
                 )
             )
 
-    def run_batch(self, tasks: list) -> dict:
-        """Shard a batch across the fleet and merge replies in order."""
+    def run_batch(self, tasks: list, *, request_id: str | None = None) -> dict:
+        """Shard a batch across the fleet and merge replies in order.
+
+        ``request_id`` is forwarded into every per-worker sub-batch (and
+        every failover re-dispatch), so one trace id follows the request
+        through every recorder file it touches; the reply's ``telemetry``
+        block carries the orchestrator spans (route / execute / merge)
+        and one hop record per shard dispatch, lost or served.
+        """
+        started = self.clock()
         n = len(tasks)
         values: list = [None] * n
         failures: list[dict] = []
@@ -411,22 +534,43 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
             "shards": 0,
             "failovers": 0,
         }
+        tele = {"route_s": 0.0, "merge_s": 0.0, "hops": []}
         if n:
             indexed = [
                 (i, task, task_routing_key(task)) for i, task in enumerate(tasks)
             ]
             self._dispatch_shards(
-                indexed, values, failures, agg, excluded=frozenset(), sweeps=0
+                indexed, values, failures, agg,
+                excluded=frozenset(), sweeps=0,
+                request_id=request_id, tele=tele,
             )
         failures.sort(key=lambda f: f.get("index", 0))
         agg["failures"] = len(failures)
-        return {
+        total_s = self.clock() - started
+        self._hist_route.observe(tele["route_s"])
+        self._hist_merge.observe(tele["merge_s"])
+        self._hist_request.observe(total_s)
+        reply = {
             "ok": True,
             "op": "batch",
             "values": values,
             "failures": failures,
             "stats": agg,
         }
+        if request_id is not None:
+            execute_s = max(0.0, total_s - tele["route_s"] - tele["merge_s"])
+            reply["telemetry"] = {
+                "request_id": request_id,
+                "node": "orchestrator",
+                "spans": {
+                    "route_s": round(tele["route_s"], 6),
+                    "execute_s": round(execute_s, 6),
+                    "merge_s": round(tele["merge_s"], 6),
+                    "total_s": round(total_s, 6),
+                },
+                "hops": tele["hops"],
+            }
+        return reply
 
     def _dispatch_shards(
         self,
@@ -437,6 +581,8 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
         *,
         excluded: frozenset[str],
         sweeps: int,
+        request_id: str | None = None,
+        tele: dict | None = None,
     ) -> None:
         """Dispatch ``(index, task, key)`` items; re-dispatch lost shards.
 
@@ -446,6 +592,7 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
         every live worker has been excluded the sweep is over: the retry
         policy backs off and the exclusion set resets.
         """
+        t_route = self.clock()
         shards: dict[str, tuple[WorkerInfo, list]] = {}
         for item in indexed:
             workers = [
@@ -458,12 +605,16 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
             owner = self.strategy.rank(item[2], workers)[0]
             shards.setdefault(owner.name, (owner, []))[1].append(item)
         agg["shards"] += len(shards)
+        if tele is not None:
+            tele["route_s"] += self.clock() - t_route
 
         outcomes: list[tuple[str, WorkerInfo, list, object]] = []
         outcomes_lock = threading.Lock()
 
         def run_shard(owner: WorkerInfo, items: list) -> None:
             payload = {"op": "batch", "tasks": [task for _, task, _ in items]}
+            if request_id is not None:
+                payload["request_id"] = request_id
             try:
                 reply = self._send(owner, payload)
             except ServiceOverloaded as exc:
@@ -491,11 +642,30 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
             for thread in threads:
                 thread.join()
 
+        t_merge = self.clock()
         retry_items: list[tuple[int, object, str]] = []
         failed_names: set[str] = set()
         last_error: ServiceError | None = None
         retry_after: float | None = None
         for status, owner, items, extra in outcomes:
+            if tele is not None:
+                hop = {
+                    "worker": owner.name,
+                    "status": status,
+                    "units": len(items),
+                }
+                if status == "ok":
+                    worker_tel = extra.pop("telemetry", None)
+                    if worker_tel is not None:
+                        hop["spans"] = worker_tel.get("spans")
+                else:
+                    hop["error"] = type(extra).__name__
+                tele["hops"].append(hop)
+            if status == "lost":
+                log.warning(
+                    "shard of %d task(s) lost on worker %s (%s); re-dispatching",
+                    len(items), owner.name, type(extra).__name__,
+                )
             if status == "ok":
                 reply = extra
                 sub_values = reply.get("values", [])
@@ -518,6 +688,8 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
                     retry_after = max(retry_after or 0.0, extra.retry_after)
                 if status == "lost":
                     agg["failovers"] += len(items)
+        if tele is not None:
+            tele["merge_s"] += self.clock() - t_merge
 
         if not retry_items:
             return
@@ -534,6 +706,7 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
             self._dispatch_shards(
                 retry_items, values, failures, agg,
                 excluded=new_excluded, sweeps=sweeps,
+                request_id=request_id, tele=tele,
             )
             return
         sweeps += 1
@@ -551,6 +724,7 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
         self._dispatch_shards(
             retry_items, values, failures, agg,
             excluded=frozenset(), sweeps=sweeps,
+            request_id=request_id, tele=tele,
         )
 
     # ------------------------------------------------------------------
@@ -651,6 +825,71 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
             "structure_cache": aggregate,
         }
 
+    def metrics_reply(self) -> dict:
+        """The fleet-merged view behind the ``metrics`` op.
+
+        Scrapes every live worker's registry snapshot and folds it with
+        the orchestrator's own: worker histograms merge elementwise
+        (identical bucket bounds), counters sum, and the orchestrator's
+        instruments pass through under their distinct names.
+        """
+        snapshots = [self.metrics.collect()]
+        reporting = 0
+        for worker in self.catalog.workers():
+            if not worker.live:
+                continue
+            try:
+                reply = self._send(
+                    worker, {"op": "metrics"},
+                    timeout=self.stats_timeout, work=False,
+                )
+            except ServiceError:
+                self.catalog.record_failure(worker.name)
+                continue
+            snapshot = reply.get("metrics")
+            if isinstance(snapshot, dict):
+                snapshots.append(snapshot)
+                reporting += 1
+        merged = merge_snapshots(*snapshots)
+        return {
+            "ok": True,
+            "op": "metrics",
+            "role": "orchestrator",
+            "version": __version__,
+            "workers_reporting": reporting,
+            "metrics": merged,
+            "exposition": render_prometheus(merged),
+        }
+
+    def finalize_reply(self, payload: dict, reply: dict, duration_s: float) -> None:
+        """Feed the flight recorder after a work reply is built.
+
+        One ``request`` event for the request itself plus one ``hop``
+        event per worker dispatch (served, lost, or shed) — the records
+        ``cli trace`` joins across orchestrator and worker files.
+        """
+        op = payload.get("op")
+        request_id = payload.get("request_id")
+        if op not in WORK_OPS or request_id is None or self.recorder is None:
+            return
+        telemetry = reply.get("telemetry") or {}
+        for hop in telemetry.get("hops", []):
+            self.recorder.record("hop", node="orchestrator", request_id=request_id, **hop)
+        event = {
+            "node": "orchestrator",
+            "request_id": request_id,
+            "op": op,
+            "ok": bool(reply.get("ok")),
+            "duration_s": round(duration_s, 6),
+            "spans": telemetry.get("spans"),
+        }
+        stats = reply.get("stats")
+        if isinstance(stats, dict):
+            for key in ("units", "executed", "failures", "shards", "failovers"):
+                if key in stats:
+                    event[key] = stats[key]
+        self.recorder.record("request", **event)
+
     def stop_workers(self, *, timeout: float = 5.0) -> dict[str, bool]:
         """Best-effort ``shutdown`` to every cataloged worker.
 
@@ -686,7 +925,7 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
     # workers bound their own admission and overloads propagate back)
     # ------------------------------------------------------------------
     def try_begin_request(self, op: object = None) -> bool:
-        control = op in ("ping", "stats", "shutdown")
+        control = op in ("ping", "stats", "metrics", "shutdown")
         with self._inflight_lock:
             if not control and self._stopping:
                 return False
@@ -752,6 +991,7 @@ def serve_orchestrator_in_thread(
     request_timeout: float | None = None,
     connect_timeout: float | None = 5.0,
     ping_interval: float | None = None,
+    recorder: FlightRecorder | None = None,
 ) -> tuple[OrchestratorServer, threading.Thread]:
     """Start an orchestrator on a background thread (ephemeral port).
 
@@ -772,6 +1012,7 @@ def serve_orchestrator_in_thread(
         request_timeout=request_timeout,
         connect_timeout=connect_timeout,
         ping_interval=ping_interval,
+        recorder=recorder,
     )
     thread = threading.Thread(
         target=lambda: server.serve_forever(poll_interval=0.02), daemon=True

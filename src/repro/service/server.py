@@ -14,7 +14,14 @@ newline-delimited JSON requests and answers them through the shared
 * ``batch`` — score a list of tasks (the campaign runner's chunk shape);
 * ``search`` — run the multi-start mapping search server-side, on the
   shared structure cache;
+* ``metrics`` — the engine's metrics-registry snapshot, as JSON and as
+  Prometheus text exposition (see :mod:`repro.telemetry.metrics`);
 * ``shutdown`` — reply, then stop the server loop cleanly.
+
+Telemetry: a request frame carrying a top-level ``request_id`` gets a
+``telemetry`` block on its work reply (node, per-hop span timings) and
+one ``request`` event in the server's flight recorder, joinable on that
+id across the fleet.
 
 Admission is bounded: with ``capacity=N`` at most N work requests are
 dispatched at once, and any further arrival is *shed* immediately with
@@ -53,28 +60,39 @@ from repro.service.protocol import (
     send_frame,
 )
 from repro.service.workers import EvaluationEngine
+from repro.telemetry import FlightRecorder, get_logger, render_prometheus
+
+log = get_logger("service.server")
 
 #: Operations admitted even when the server is saturated or draining —
 #: the observe-and-stop plane must stay reachable exactly when the
 #: work plane is refusing traffic.
-CONTROL_OPS = frozenset({"ping", "stats", "shutdown"})
+CONTROL_OPS = frozenset({"ping", "stats", "metrics", "shutdown"})
+
+#: Operations that do evaluation work (admission-bounded, span-timed).
+WORK_OPS = frozenset({"evaluate", "solve", "batch", "search"})
 
 #: Default ``retry_after`` hint (seconds) in shed replies.
 DEFAULT_RETRY_AFTER = 1.0
 
 
-def _jsonify_results(results: list) -> tuple[list, list[dict]]:
+def _jsonify_results(
+    results: list, request_id: str | None = None
+) -> tuple[list, list[dict]]:
     """Split engine results into a value list and failure records.
 
     Failed slots carry ``None`` in ``values``; each failure is reported
-    once in ``failures`` with the index it belongs to.
+    once in ``failures`` with the index it belongs to, stamped with the
+    request's trace id so it is joinable against the flight recorder.
     """
     values: list = []
     failures: list[dict] = []
     for index, result in enumerate(results):
         if isinstance(result, TaskFailure):
             values.append(None)
-            failures.append({"index": index, **result.to_dict()})
+            failures.append(
+                {"index": index, **result.stamp(request_id).to_dict()}
+            )
         else:
             values.append(result)
     return values, failures
@@ -84,6 +102,7 @@ def handle_request(server: "ServiceServer", payload: dict) -> tuple[dict, bool]:
     """Dispatch one request frame; return ``(reply, stop_server)``."""
     engine = server.engine
     op = payload.get("op")
+    request_id = payload.get("request_id")
     try:
         if op == "ping":
             return {
@@ -109,11 +128,22 @@ def handle_request(server: "ServiceServer", payload: dict) -> tuple[dict, bool]:
                 "stopping": server.stopping,
                 "counters": engine.status(),
             }, False
+        if op == "metrics":
+            snapshot = engine.metrics.collect()
+            return {
+                "ok": True,
+                "op": "metrics",
+                "role": "worker",
+                "version": __version__,
+                "metrics": snapshot,
+                "exposition": render_prometheus(snapshot),
+            }, False
         if op == "shutdown":
             # Flip the admission gate first: requests racing the drain
             # are shed with a structured reply instead of being half
             # served against a closing engine.
             server.begin_shutdown()
+            log.info("shutdown requested; draining in-flight work")
             return {"ok": True, "op": "shutdown"}, True
         if op in ("evaluate", "solve"):
             if op == "solve":
@@ -129,7 +159,7 @@ def handle_request(server: "ServiceServer", payload: dict) -> tuple[dict, bool]:
             else:
                 task = payload.get("task")
             results, stats = engine.run_batch([task])
-            values, failures = _jsonify_results(results)
+            values, failures = _jsonify_results(results, request_id)
             return {
                 "ok": True,
                 "op": op,
@@ -142,7 +172,7 @@ def handle_request(server: "ServiceServer", payload: dict) -> tuple[dict, bool]:
             if not isinstance(tasks, list):
                 raise ServiceError("batch needs a list 'tasks'")
             results, stats = engine.run_batch(tasks)
-            values, failures = _jsonify_results(results)
+            values, failures = _jsonify_results(results, request_id)
             return {
                 "ok": True,
                 "op": "batch",
@@ -157,7 +187,7 @@ def handle_request(server: "ServiceServer", payload: dict) -> tuple[dict, bool]:
             return {"ok": True, "op": "search", **engine.run_search(params)}, False
         raise ServiceError(
             f"unknown op {op!r}; supported: "
-            "ping, stats, evaluate, solve, batch, search, shutdown"
+            "ping, stats, metrics, evaluate, solve, batch, search, shutdown"
         )
     except ServiceError as exc:
         return error_reply(str(exc)), False
@@ -196,7 +226,9 @@ class _RequestHandler(socketserver.StreamRequestHandler):
                     return
                 continue
             try:
+                started = server.clock()
                 reply, stop = handle_request(server, payload)
+                server.finalize_reply(payload, reply, server.clock() - started)
                 faults = server.faults
                 if faults is not None and op != "shutdown":
                     # Chaos hooks, post-work: a delayed reply must trip
@@ -235,12 +267,16 @@ class ServiceServer(socketserver.ThreadingTCPServer):
         capacity: int | None = None,
         retry_after: float = DEFAULT_RETRY_AFTER,
         faults: FaultInjector | None = None,
+        recorder: FlightRecorder | None = None,
     ) -> None:
         if capacity is not None and capacity < 1:
             raise ServiceError(f"capacity must be >= 1, got {capacity}")
         if retry_after <= 0:
             raise ServiceError(f"retry_after must be > 0, got {retry_after}")
         self.engine = engine
+        self.recorder = recorder
+        #: Span clock, shared with the engine so hop timings line up.
+        self.clock = engine.clock
         #: Max concurrently dispatched work requests (``None`` = unbounded).
         self.capacity = capacity
         #: Back-off hint (seconds) carried by every shed reply.
@@ -258,7 +294,82 @@ class ServiceServer(socketserver.ThreadingTCPServer):
         self._inflight_lock = threading.Lock()
         self._drained = threading.Event()
         self._drained.set()
+        # Server-scoped instruments live on the engine's registry so one
+        # `metrics` scrape sees the whole process; unregister-first lets
+        # a server be rebuilt around an engine that outlives it.
+        m = engine.metrics
+        for name in (
+            "repro_server_shed_total",
+            "repro_server_in_flight",
+            "repro_server_uptime_seconds",
+            "repro_server_request_seconds",
+        ):
+            m.unregister(name)
+        m.counter(
+            "repro_server_shed_total",
+            "work requests refused by admission",
+            fn=lambda: self.shed,
+        )
+        m.gauge(
+            "repro_server_in_flight",
+            "dispatched requests awaiting their reply",
+            fn=lambda: self.in_flight,
+        )
+        m.gauge(
+            "repro_server_uptime_seconds",
+            "seconds since the server started",
+            fn=lambda: self.uptime_s,
+        )
+        self._hist_request = m.histogram(
+            "repro_server_request_seconds", "work-request latency at the server"
+        )
         super().__init__((host, port), _RequestHandler)
+        log.info("worker serving on %s:%d", *self.endpoint)
+
+    def finalize_reply(self, payload: dict, reply: dict, duration_s: float) -> None:
+        """Span-time a work reply, attach telemetry, feed the recorder.
+
+        Always strips the engine's raw ``span`` block out of the wire
+        ``stats`` (sub-batch stats stay pure counters for aggregation);
+        the timings resurface under ``reply["telemetry"]`` when the
+        request carried a trace id.
+        """
+        op = payload.get("op")
+        if op not in WORK_OPS:
+            return
+        self._hist_request.observe(duration_s)
+        span: dict = {}
+        stats = reply.get("stats")
+        if isinstance(stats, dict):
+            span = stats.pop("span", None) or {}
+        request_id = payload.get("request_id")
+        if request_id is None:
+            return
+        spans = {
+            "queue_wait_s": round(span.get("queue_wait_s", 0.0), 6),
+            "execute_s": round(span.get("execute_s", 0.0), 6),
+            "total_s": round(duration_s, 6),
+        }
+        if reply.get("ok"):
+            reply["telemetry"] = {
+                "request_id": request_id,
+                "node": "worker",
+                "spans": spans,
+            }
+        if self.recorder is not None:
+            event = {
+                "node": "worker",
+                "request_id": request_id,
+                "op": op,
+                "ok": bool(reply.get("ok")),
+                "duration_s": round(duration_s, 6),
+                "spans": spans,
+            }
+            if isinstance(stats, dict):
+                for key in ("units", "executed", "disk_hits", "memo_hits", "coalesced", "failures"):
+                    if key in stats:
+                        event[key] = stats[key]
+            self.recorder.record("request", **event)
 
     # ------------------------------------------------------------------
     # Admission
@@ -348,6 +459,7 @@ def serve_in_thread(
     capacity: int | None = None,
     retry_after: float = DEFAULT_RETRY_AFTER,
     faults: FaultInjector | None = None,
+    recorder: FlightRecorder | None = None,
 ) -> tuple[ServiceServer, threading.Thread]:
     """Start a server on a background thread (ephemeral port by default).
 
@@ -365,6 +477,7 @@ def serve_in_thread(
         capacity=capacity,
         retry_after=retry_after,
         faults=faults,
+        recorder=recorder,
     )
     # A tight poll interval keeps shutdown() latency out of embedded
     # timings (the default 0.5 s would dominate short benchmarks).

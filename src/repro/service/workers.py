@@ -33,6 +33,7 @@ and the degraded flag are exported through :meth:`status` for the
 from __future__ import annotations
 
 import threading
+from collections.abc import Callable
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 
 from repro.campaign.spec import SystemSpec
@@ -44,7 +45,11 @@ from repro.mapping.mapping import Mapping
 from repro.service.diskcache import DiskScoreCache, score_digest
 from repro.service.faults import FaultInjector
 from repro.service.queue import CoalescingQueue
+from repro.telemetry import MetricsRegistry, get_logger
+from repro.telemetry.clock import monotonic_clock
 from repro.types import ExecutionModel
+
+log = get_logger("service.engine")
 
 #: The keys a task payload may carry (``options`` may be omitted).
 _TASK_KEYS = {"system", "solver", "model", "options"}
@@ -110,6 +115,8 @@ class EvaluationEngine:
         max_entries: int | None = None,
         max_pool_restarts: int = 3,
         faults: FaultInjector | None = None,
+        metrics: MetricsRegistry | None = None,
+        clock: Callable[[], float] = monotonic_clock,
     ) -> None:
         if n_jobs < 1:
             raise ValueError("n_jobs must be >= 1")
@@ -148,6 +155,46 @@ class EvaluationEngine:
         #: Set once the restart budget is spent: the engine stops
         #: spawning pools and answers from in-process serial execution.
         self.degraded = False
+        self.clock = clock
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._bind_metrics()
+
+    def _bind_metrics(self) -> None:
+        """Register the engine's instruments on its registry.
+
+        Every counter here is *callback-backed* by the legacy ad-hoc
+        counter it replaces — the ``metrics`` op reads the same integers
+        the ``stats`` op does, so the two always reconcile exactly.
+        """
+        m = self.metrics
+        m.counter("repro_engine_batches_total", "run_batch calls", fn=lambda: self.batches)
+        m.counter("repro_engine_units_total", "tasks received", fn=lambda: self.units)
+        m.counter("repro_engine_executed_total", "evaluator runs", fn=lambda: self.executed)
+        m.counter("repro_engine_disk_hits_total", "tier-2 disk cache hits", fn=lambda: self.disk_hits)
+        m.counter("repro_engine_memo_hits_total", "structure-cache score memo hits", fn=lambda: self.memo_hits)
+        m.counter("repro_engine_failures_total", "tasks answered with a TaskFailure", fn=lambda: self.failures)
+        m.counter("repro_engine_disk_errors_total", "best-effort disk cache write errors", fn=lambda: self.disk_errors)
+        m.counter("repro_engine_pool_restarts_total", "worker pools rebuilt after a crash", fn=lambda: self.pool_restarts)
+        m.gauge("repro_engine_degraded", "1 once the restart budget is spent", fn=lambda: int(self.degraded))
+        m.counter("repro_coalesce_leads_total", "digests this process computed", fn=lambda: self.queue.leads)
+        m.counter("repro_coalesced_total", "tasks served by another request's run", fn=lambda: self.queue.coalesced)
+        m.gauge("repro_coalesce_in_flight", "digests currently being computed", fn=lambda: self.queue.in_flight())
+        m.counter("repro_structure_cache_hits_total", "score memo hits", fn=lambda: self.cache.hits)
+        m.counter("repro_structure_cache_misses_total", "score memo misses", fn=lambda: self.cache.misses)
+        m.counter("repro_structure_cache_evictions_total", "LRU evictions", fn=lambda: self.cache.evictions)
+        m.gauge("repro_structure_cache_scores", "memoized scores resident", fn=lambda: self.cache.stats()["scores"])
+        m.counter("repro_disk_cache_hits_total", "disk cache hits", fn=lambda: 0 if self.disk is None else self.disk.hits)
+        m.counter("repro_disk_cache_misses_total", "disk cache misses", fn=lambda: 0 if self.disk is None else self.disk.misses)
+        m.gauge("repro_disk_cache_entries", "digests persisted on disk", fn=lambda: 0 if self.disk is None else len(self.disk))
+        self._hist_queue_wait = m.histogram(
+            "repro_engine_queue_wait_seconds", "time a batch waited for the evaluation guard"
+        )
+        self._hist_execute = m.histogram(
+            "repro_engine_execute_seconds", "time a batch spent in the evaluator"
+        )
+        self._hist_batch = m.histogram(
+            "repro_engine_batch_seconds", "end-to-end run_batch latency"
+        )
 
     # ------------------------------------------------------------------
     # Execution
@@ -161,6 +208,9 @@ class EvaluationEngine:
         ``memo_hits`` the two cache tiers, ``coalesced`` the tasks
         served by another request's in-flight run.
         """
+        t_start = self.clock()
+        queue_wait_s = 0.0
+        execute_s = 0.0
         n = len(tasks)
         results: list = [None] * n
         stats = {
@@ -218,9 +268,13 @@ class EvaluationEngine:
         if leaders:
             try:
                 lead_tasks = [norm[pending[d][0]][:3] for d in leaders]
+                t_wait = self.clock()
                 with self._eval_lock:
+                    t_exec = self.clock()
+                    queue_wait_s = t_exec - t_wait
                     hits0, misses0 = self.cache.hits, self.cache.misses
                     values = self._evaluate_resilient(lead_tasks)
+                    execute_s = self.clock() - t_exec
                     # A failure value is an evaluator run that raised
                     # mid-flight (resolution errors never reach here),
                     # and is never store()d — count both kinds of run.
@@ -280,6 +334,21 @@ class EvaluationEngine:
             self.disk_hits += stats["disk_hits"]
             self.memo_hits += stats["memo_hits"]
             self.failures += stats["failures"]
+        total_s = self.clock() - t_start
+        self._hist_queue_wait.observe(queue_wait_s)
+        self._hist_execute.observe(execute_s)
+        self._hist_batch.observe(total_s)
+        stats["span"] = {
+            "queue_wait_s": queue_wait_s,
+            "execute_s": execute_s,
+            "total_s": total_s,
+        }
+        log.debug(
+            "batch: units=%d executed=%d disk_hits=%d memo_hits=%d "
+            "coalesced=%d failures=%d total=%.6fs",
+            n, stats["executed"], stats["disk_hits"], stats["memo_hits"],
+            stats["coalesced"], stats["failures"], total_s,
+        )
         return results, stats
 
     def run_search(self, params: dict) -> dict:
@@ -370,6 +439,16 @@ class EvaluationEngine:
                     self.pool_restarts += 1
                     if self.pool_restarts > self.max_pool_restarts:
                         self.degraded = True
+                if self.degraded:
+                    log.error(
+                        "pool restart budget spent (%d/%d): degrading to serial",
+                        self.pool_restarts, self.max_pool_restarts,
+                    )
+                else:
+                    log.warning(
+                        "worker pool crashed; rebuilding (restart %d/%d)",
+                        self.pool_restarts, self.max_pool_restarts,
+                    )
 
     def _get_pool(self) -> ProcessPoolExecutor | None:
         """The persistent executor (lazily spawned; None when serial).

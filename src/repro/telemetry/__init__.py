@@ -1,0 +1,62 @@
+"""Cross-cutting observability layer for the evaluation stack.
+
+Four small, dependency-free pieces that every service tier plugs into:
+
+- :mod:`repro.telemetry.metrics` — a process-local registry of counters,
+  gauges and mergeable fixed-bucket latency histograms with Prometheus
+  text exposition.  Callback-backed instruments read the legacy ad-hoc
+  stats counters directly, so the ``metrics`` op reconciles exactly with
+  the older ``stats`` op by construction.
+- :mod:`repro.telemetry.trace` — request-id minting and span helpers.
+  Every protocol frame may carry a top-level ``request_id`` which the
+  orchestrator forwards into per-worker sub-batches and failover
+  re-dispatches.
+- :mod:`repro.telemetry.recorder` — a crash-safe JSONL flight recorder
+  (same torn-tail discipline as the campaign store) with size-based
+  rotation and a slow-request threshold log.
+- :mod:`repro.telemetry.logs` — stdlib ``logging`` plumbing: namespaced
+  ``repro.*`` loggers and an optional JSON line formatter, wired to the
+  CLI ``--verbose`` / ``--log-json`` flags.
+
+Clock access goes through an injectable monotonic source
+(:mod:`repro.telemetry.clock`) so span timings are deterministic under
+test.
+"""
+
+from __future__ import annotations
+
+from .clock import ManualClock, monotonic_clock, wall_clock
+from .logs import JsonLineFormatter, configure_logging, get_logger
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    histogram_quantile,
+    merge_snapshots,
+    render_prometheus,
+)
+from .recorder import FlightRecorder, find_trace, read_events
+from .trace import new_request_id
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "FlightRecorder",
+    "Gauge",
+    "Histogram",
+    "JsonLineFormatter",
+    "ManualClock",
+    "MetricsRegistry",
+    "configure_logging",
+    "find_trace",
+    "get_logger",
+    "histogram_quantile",
+    "merge_snapshots",
+    "monotonic_clock",
+    "new_request_id",
+    "read_events",
+    "render_prometheus",
+    "wall_clock",
+]

@@ -1,0 +1,50 @@
+"""Injectable time sources.
+
+Span timings are measured against a *clock*: any zero-argument callable
+returning seconds as a float.  Production code uses
+:func:`monotonic_clock` (never goes backwards, immune to NTP steps);
+recorder events additionally stamp :func:`wall_clock` so files from
+different hosts can be lined up.  Tests inject a :class:`ManualClock`
+and advance it explicitly, making every span duration exact.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["ManualClock", "monotonic_clock", "wall_clock"]
+
+
+def monotonic_clock() -> float:
+    """The default span clock — :func:`time.monotonic`."""
+    return time.monotonic()
+
+
+def wall_clock() -> float:
+    """Wall time for cross-host event ordering — :func:`time.time`."""
+    return time.time()
+
+
+class ManualClock:
+    """A clock that only moves when told to.
+
+    >>> clk = ManualClock()
+    >>> t0 = clk()
+    >>> clk.advance(1.5)
+    >>> clk() - t0
+    1.5
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        return self._now
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("ManualClock cannot move backwards")
+        self._now += float(seconds)

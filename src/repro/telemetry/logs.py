@@ -1,0 +1,85 @@
+"""Stdlib logging plumbing for the ``repro`` tree.
+
+Every module gets its logger through :func:`get_logger`, which pins the
+``repro.`` namespace so one :func:`configure_logging` call (wired to the
+CLI ``--verbose`` / ``--log-json`` flags) governs the whole tree.
+Unconfigured, loggers fall through to stdlib defaults (warnings only) —
+library users see nothing unless they opt in.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO
+
+__all__ = ["JsonLineFormatter", "configure_logging", "get_logger"]
+
+ROOT_LOGGER = "repro"
+
+#: Marker attribute identifying handlers installed by configure_logging,
+#: so repeated calls (tests, REPL) replace rather than stack them.
+_HANDLER_TAG = "_repro_telemetry_handler"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return the ``repro.*`` logger for ``name``.
+
+    ``get_logger("service.server")`` and
+    ``get_logger("repro.service.server")`` are the same logger.
+    """
+    if name != ROOT_LOGGER and not name.startswith(ROOT_LOGGER + "."):
+        name = f"{ROOT_LOGGER}.{name}"
+    return logging.getLogger(name)
+
+
+class JsonLineFormatter(logging.Formatter):
+    """One JSON object per log line — machine-parseable structured logs."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        fields = getattr(record, "fields", None)
+        if isinstance(fields, dict):
+            payload.update(fields)
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+def configure_logging(
+    *,
+    verbose: int = 0,
+    log_json: bool = False,
+    stream: IO[str] | None = None,
+    level: int | None = None,
+) -> logging.Logger:
+    """Install one handler on the ``repro`` root logger.
+
+    ``verbose`` counts ``-v`` flags: 0 → WARNING, 1 → INFO, ≥2 → DEBUG
+    (``level`` overrides the mapping).  Idempotent: re-invocation
+    replaces the previously installed handler instead of stacking.
+    """
+    root = logging.getLogger(ROOT_LOGGER)
+    if level is None:
+        level = logging.WARNING if verbose <= 0 else (logging.INFO if verbose == 1 else logging.DEBUG)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    if log_json:
+        handler.setFormatter(JsonLineFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(levelname)-7s %(name)s: %(message)s")
+        )
+    setattr(handler, _HANDLER_TAG, True)
+    for existing in list(root.handlers):
+        if getattr(existing, _HANDLER_TAG, False):
+            root.removeHandler(existing)
+    root.addHandler(handler)
+    root.setLevel(level)
+    root.propagate = False
+    return root

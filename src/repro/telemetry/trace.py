@@ -1,0 +1,19 @@
+"""Request-id minting for trace propagation.
+
+A request id is an opaque short hex token minted once per logical
+client request (``ServiceClient`` reuses it across retries of the same
+call), carried as a top-level ``request_id`` field on protocol frames.
+Servers that predate the field ignore unknown top-level keys, so
+propagation is backwards compatible in both directions.
+"""
+
+from __future__ import annotations
+
+import uuid
+
+__all__ = ["new_request_id"]
+
+
+def new_request_id() -> str:
+    """Mint a fresh 16-hex-char request id (64 random bits)."""
+    return uuid.uuid4().hex[:16]
