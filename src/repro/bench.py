@@ -91,6 +91,41 @@ def _git_revision() -> str | None:
     return revision if out.returncode == 0 and revision else None
 
 
+#: Every engine name the full suite can time, in suite order. This is
+#: the vocabulary behind ``--workloads`` (substring match) and the
+#: ``cli bench --list-workloads`` flag; keep it in sync with the
+#: ``engines[...] =`` assignments in :func:`run_benchmarks`.
+WORKLOAD_ENGINES: tuple[str, ...] = (
+    "reachability.vectorized",
+    "reachability.reference",
+    "markov.throughput",
+    "sim.fast",
+    "sim.reference",
+    "replicate.serial",
+    "replicate.parallel",
+    "replication.loop",
+    "replication.vectorized",
+    "maxplus.matmul",
+    "search.uncached",
+    "search.memoized",
+    "evaluate_many.strict.uncached",
+    "evaluate_many.strict.cached",
+    "campaign.cold",
+    "campaign.resume",
+    "service.cold",
+    "service.warm",
+    "service.coalesced",
+    "service.overload",
+    "service.fleet.single",
+    "service.fleet.quad",
+)
+
+
+def available_workloads() -> tuple[str, ...]:
+    """Engine names the benchmark suite can time (``--workloads`` targets)."""
+    return WORKLOAD_ENGINES
+
+
 def _timed(fn: Callable[[], object], repeats: int) -> tuple[float, object]:
     """Median wall time over ``repeats`` runs and the last return value.
 

@@ -649,6 +649,226 @@ def _cmd_metrics(args, parser) -> int:
     return 0
 
 
+def _cmd_bench_trajectory(args, parser) -> int:
+    from repro.perf import load_trajectory, render_trajectory
+
+    try:
+        entries = load_trajectory(args.dir, extra=tuple(args.report or ()))
+    except (OSError, ValueError) as exc:
+        parser.error(str(exc))
+    if not entries:
+        parser.error(f"no BENCH_PR*.json reports found in {args.dir}")
+    if args.json:
+        print(json.dumps(entries, indent=2, sort_keys=True))
+        return 0
+    print(render_trajectory(entries))
+    return 0
+
+
+def _cmd_bench_compare(args, parser) -> int:
+    from repro.perf import compare_reports, load_report, render_comparison
+
+    if args.tolerance < 0:
+        parser.error("--tolerance must be >= 0")
+    try:
+        baseline = load_report(args.baseline)
+        new = load_report(args.new)
+    except (OSError, ValueError) as exc:
+        parser.error(str(exc))
+    result = compare_reports(baseline, new, tolerance=args.tolerance)
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        print(render_comparison(result))
+    return 0 if result["ok"] else 1
+
+
+def _render_top(stats: dict, metrics: dict, prof: dict, *, top_k: int) -> None:
+    """One dashboard frame: totals, workers, latency, hottest phases."""
+    from repro.telemetry.profile import flatten_phases
+
+    role = stats.get("role", "worker")
+    uptime = stats.get("uptime_s")
+    line = f"repro top — {role}"
+    if isinstance(uptime, (int, float)):
+        line += f", up {uptime:.0f}s"
+    line += f", in-flight {stats.get('in_flight', 0)}"
+    print(line)
+
+    if role == "orchestrator":
+        totals = stats.get("totals") or {}
+        cache = stats.get("structure_cache") or {}
+        hit_rate = cache.get("hit_rate", 0.0)
+        print(
+            f"fleet: {totals.get('units', 0)} units, "
+            f"{totals.get('executed', 0)} executed, "
+            f"{totals.get('disk_hits', 0)} disk hits, "
+            f"{totals.get('memo_hits', 0)} memo hits, "
+            f"{totals.get('failures', 0)} failures"
+        )
+        print(
+            f"cache: hit rate {hit_rate:.1%} ({cache.get('hits', 0)} hits / "
+            f"{cache.get('misses', 0)} misses, "
+            f"{cache.get('evictions', 0)} evictions)"
+        )
+        rows = stats.get("workers") or []
+        if rows:
+            print(
+                f"{'worker':8s} {'live':5s} {'inflt':>5s} {'routed':>6s} "
+                f"{'failov':>6s} {'units':>8s} {'executed':>8s}"
+            )
+        for row in rows:
+            reported = row.get("reported") or {}
+            requests = reported.get("requests") or {}
+            print(
+                f"{row.get('name', '?'):8s} "
+                f"{'yes' if row.get('live') else 'NO':5s} "
+                f"{row.get('in_flight', 0):>5d} {row.get('routed', 0):>6d} "
+                f"{row.get('failovers', 0):>6d} "
+                f"{requests.get('units', '-')!s:>8s} "
+                f"{requests.get('executed', '-')!s:>8s}"
+            )
+    else:
+        counters = stats.get("counters") or {}
+        requests = counters.get("requests") or {}
+        cache = counters.get("structure_cache") or {}
+        cache_requests = cache.get("requests", 0)
+        hit_rate = cache.get("hits", 0) / cache_requests if cache_requests else 0.0
+        print(
+            f"worker: {requests.get('units', 0)} units, "
+            f"{requests.get('executed', 0)} executed, "
+            f"{requests.get('disk_hits', 0)} disk hits, "
+            f"{requests.get('memo_hits', 0)} memo hits, "
+            f"{requests.get('failures', 0)} failures, "
+            f"shed {stats.get('shed', 0)}"
+        )
+        print(
+            f"cache: hit rate {hit_rate:.1%} ({cache.get('hits', 0)} hits / "
+            f"{cache.get('misses', 0)} misses, "
+            f"{cache.get('evictions', 0)} evictions)"
+        )
+
+    shown_latency = False
+    for name in (
+        "repro_orchestrator_request_seconds",
+        "repro_engine_batch_seconds",
+    ):
+        entry = metrics.get(name)
+        if not isinstance(entry, dict) or not entry.get("count"):
+            continue
+        if not shown_latency:
+            print()
+            shown_latency = True
+        print(
+            f"{name}: n={entry['count']} "
+            f"p50={entry.get('p50', 0.0) * 1e3:.1f}ms "
+            f"p95={entry.get('p95', 0.0) * 1e3:.1f}ms "
+            f"p99={entry.get('p99', 0.0) * 1e3:.1f}ms"
+        )
+
+    rows = list(flatten_phases((prof.get("profile") or {}).get("phases") or {}))
+    rows.extend(
+        (f"orch/{path}", node)
+        for path, node in flatten_phases(
+            (prof.get("orchestrator") or {}).get("phases") or {}
+        )
+    )
+    rows.sort(key=lambda r: (-r[1].get("self_s", 0.0), r[0]))
+    if rows:
+        print()
+        print(
+            f"{'hottest phases':34s} {'calls':>8s} {'total_s':>11s} "
+            f"{'self_s':>11s}"
+        )
+        for path, node in rows[:top_k]:
+            print(
+                f"{path:34s} {node.get('calls', 0):>8d} "
+                f"{node.get('total_s', 0.0):>11.6f} "
+                f"{node.get('self_s', 0.0):>11.6f}"
+            )
+
+
+def _cmd_top(args, parser) -> int:
+    import time
+
+    from repro.exceptions import ServiceError
+
+    if args.interval <= 0:
+        parser.error("--interval must be > 0")
+    if args.count is not None and args.count < 1:
+        parser.error("--count must be >= 1")
+    if args.top < 1:
+        parser.error("--top must be >= 1")
+    rounds = args.count if args.count is not None else (2 ** 31)
+    for round_index in range(rounds):
+        if round_index:
+            try:
+                time.sleep(args.interval)
+            except KeyboardInterrupt:  # pragma: no cover - interactive only
+                return 0
+        try:
+            with _service_client(args) as client:
+                stats = client.stats()
+                metrics = client.metrics()
+                prof = client.profile()
+        except ServiceError as exc:
+            print(f"top failed: {exc}", file=sys.stderr)
+            return 1
+        if round_index:
+            if args.no_clear:
+                print()
+            else:
+                # ANSI clear + home: refresh in place like top(1).
+                print("\x1b[2J\x1b[H", end="")
+        _render_top(stats, metrics.get("metrics") or {}, prof, top_k=args.top)
+        sys.stdout.flush()
+    return 0
+
+
+def _cmd_profile(args, parser) -> int:
+    from repro.exceptions import ServiceError
+    from repro.telemetry.profile import render_profile
+
+    try:
+        with _service_client(args) as client:
+            reply = client.profile()
+    except ServiceError as exc:
+        print(f"profile failed: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        # Pure-JSON mode: the merged phase tree, pipeable to jq.
+        payload = {
+            "role": reply.get("role"),
+            "version": reply.get("version"),
+            "profile": reply.get("profile") or {},
+        }
+        if "workers_reporting" in reply:
+            payload["workers_reporting"] = reply["workers_reporting"]
+        if "orchestrator" in reply:
+            payload["orchestrator"] = reply["orchestrator"]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    profile = reply.get("profile") or {}
+    phases = profile.get("phases") or {}
+    if reply.get("role") == "orchestrator":
+        print(
+            f"fleet profile "
+            f"({reply.get('workers_reporting', 0)} worker(s) reporting)"
+        )
+    if phases:
+        print(render_profile(phases))
+    elif profile.get("enabled", True):
+        print("no phases recorded yet")
+    else:
+        print("profiler disabled")
+    orch_phases = (reply.get("orchestrator") or {}).get("phases") or {}
+    if orch_phases:
+        print()
+        print("orchestrator:")
+        print(render_profile(orch_phases))
+    return 0
+
+
 def _trace_paths(args, parser) -> list:
     from pathlib import Path
 
@@ -1273,6 +1493,18 @@ def main(argv: list[str] | None = None) -> int:
         "text by default; orchestrators merge the whole fleet's "
         "histograms; exit 0: alive, 1: unreachable)",
     )
+    profilep = sub.add_parser(
+        "profile",
+        help="dump a running service's per-phase cost-attribution tree "
+        "(orchestrators merge the whole fleet's phase trees; "
+        "exit 0: alive, 1: unreachable)",
+    )
+    topp = sub.add_parser(
+        "top",
+        help="live fleet dashboard: totals, per-worker rows, cache hit "
+        "rates, latency percentiles and the hottest phases, refreshed "
+        "in place (exit 0: alive, 1: unreachable)",
+    )
     submitp = sub.add_parser(
         "submit",
         help="submit work to a running service "
@@ -1281,7 +1513,7 @@ def main(argv: list[str] | None = None) -> int:
     shutdownp = sub.add_parser(
         "shutdown", help="stop a running service cleanly"
     )
-    for sp in (pingp, statsp, metricsp, submitp, shutdownp):
+    for sp in (pingp, statsp, metricsp, profilep, topp, submitp, shutdownp):
         sp.add_argument("--host", default=DEFAULT_HOST)
         sp.add_argument("--port", type=int, default=DEFAULT_PORT)
         sp.add_argument(
@@ -1326,6 +1558,27 @@ def main(argv: list[str] | None = None) -> int:
         "--json", action="store_true",
         help="dump the merged metrics snapshot as JSON instead of "
         "Prometheus text exposition",
+    )
+    profilep.add_argument(
+        "--json", action="store_true",
+        help="dump the merged phase tree as JSON instead of a table",
+    )
+    topp.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh period (default: %(default)s)",
+    )
+    topp.add_argument(
+        "--count", type=int, default=None, metavar="N",
+        help="stop after N refreshes (default: until interrupted)",
+    )
+    topp.add_argument(
+        "--top", type=int, default=8, metavar="K",
+        help="show the K hottest phases by self time (default: %(default)s)",
+    )
+    topp.add_argument(
+        "--no-clear", action="store_true",
+        help="append refreshes instead of clearing the screen "
+        "(log-friendly; the default clears between refreshes)",
     )
     tracep = sub.add_parser(
         "trace",
@@ -1380,7 +1633,50 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     benchp = sub.add_parser(
-        "bench", help="run the engine micro-benchmarks and write a JSON report"
+        "bench",
+        help="run the engine micro-benchmarks and write a JSON report "
+        "(subcommands: 'trajectory' renders the committed baseline "
+        "history, 'compare' gates a new report against a baseline)",
+    )
+    bsub = benchp.add_subparsers(dest="bench_command")
+    btraj = bsub.add_parser(
+        "trajectory",
+        help="render the per-workload perf trajectory across every "
+        "committed BENCH_PR*.json report",
+    )
+    btraj.add_argument(
+        "--dir", default=".", metavar="DIR",
+        help="directory holding the committed reports (default: %(default)s)",
+    )
+    btraj.add_argument(
+        "--report", action="append", default=None, metavar="FILE",
+        help="append an extra (uncommitted) report to the trajectory "
+        "(repeatable; e.g. a fresh run to preview against history)",
+    )
+    btraj.add_argument(
+        "--json", action="store_true",
+        help="dump the loaded trajectory as JSON instead of tables",
+    )
+    bcomp = bsub.add_parser(
+        "compare",
+        help="compare two benchmark reports engine-by-engine "
+        "(exit 0: within tolerance, 1: regression)",
+    )
+    bcomp.add_argument("baseline", help="baseline report JSON file")
+    bcomp.add_argument("new", help="candidate report JSON file")
+    bcomp.add_argument(
+        "--tolerance", type=float, default=0.5, metavar="FRACTION",
+        help="allowed slowdown as a fraction of the baseline median "
+        "(0.5 tolerates a 1.5x slowdown; default: %(default)s)",
+    )
+    bcomp.add_argument(
+        "--json", action="store_true",
+        help="dump the comparison verdicts as JSON instead of a table",
+    )
+    benchp.add_argument(
+        "--list-workloads", action="store_true",
+        help="print the benchmark engine names --workloads can match, "
+        "one per line, and exit without running anything",
     )
     benchp.add_argument(
         "--quick",
@@ -1396,7 +1692,8 @@ def main(argv: list[str] | None = None) -> int:
     benchp.add_argument(
         "--output",
         default="BENCH_PR1.json",
-        help="path of the JSON report (default: %(default)s)",
+        help="path of the JSON report, or '-' to stream the raw JSON to "
+        "stdout without touching disk (default: %(default)s)",
     )
     benchp.add_argument(
         "--workloads",
@@ -1437,6 +1734,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_stats(args, parser)
     if args.command == "metrics":
         return _cmd_metrics(args, parser)
+    if args.command == "profile":
+        return _cmd_profile(args, parser)
+    if args.command == "top":
+        return _cmd_top(args, parser)
     if args.command == "trace":
         return _cmd_trace(args, parser)
     if args.command == "submit":
@@ -1445,11 +1746,26 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_shutdown(args, parser)
 
     if args.command == "bench":
-        from repro.bench import render_report, run_benchmarks, write_report
+        if getattr(args, "bench_command", None) == "trajectory":
+            return _cmd_bench_trajectory(args, parser)
+        if getattr(args, "bench_command", None) == "compare":
+            return _cmd_bench_compare(args, parser)
 
+        from repro.bench import (
+            available_workloads,
+            render_report,
+            run_benchmarks,
+            write_report,
+        )
+
+        if args.list_workloads:
+            for name in available_workloads():
+                print(name)
+            return 0
         if args.repeats is not None and args.repeats < 1:
             parser.error("--repeats must be >= 1")
-        if os.path.exists(args.output) and not args.force:
+        to_stdout = args.output == "-"
+        if not to_stdout and os.path.exists(args.output) and not args.force:
             parser.error(
                 f"{args.output} already exists (a committed benchmark "
                 "baseline?); pass --force to overwrite or choose another "
@@ -1463,6 +1779,12 @@ def main(argv: list[str] | None = None) -> int:
             )
         except ValueError as exc:
             parser.error(str(exc))
+        if to_stdout:
+            # Pure JSON on stdout (the human table would corrupt the
+            # stream): the shape the CI perf gate pipes into 'bench
+            # compare' without leaving a file behind.
+            print(json.dumps(report, indent=2, sort_keys=True))
+            return 0
         print(render_report(report))
         try:
             write_report(report, args.output)

@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING
 
 from repro.evaluate.fingerprint import mapping_fingerprint, structure_fingerprint
 from repro.mapping.mapping import Mapping
+from repro.telemetry.profile import profile_span
 from repro.types import ExecutionModel
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -82,15 +83,17 @@ class StructureCache:
         solver_name: str,
         options_key: tuple,
     ) -> tuple:
-        return (solver_name, options_key, mapping_fingerprint(mapping, model))
+        with profile_span("fingerprint"):
+            return (solver_name, options_key, mapping_fingerprint(mapping, model))
 
     def lookup(self, key: tuple) -> float | None:
         """Memoized score for ``key``; counts the hit when present."""
-        if self.enabled and key in self._scores:
-            self.hits += 1
-            self._touch(self._scores, key)
-            return self._scores[key]
-        return None
+        with profile_span("cache_lookup"):
+            if self.enabled and key in self._scores:
+                self.hits += 1
+                self._touch(self._scores, key)
+                return self._scores[key]
+            return None
 
     def store(self, key: tuple, value: float) -> float:
         """Record a freshly computed score (counts the miss)."""

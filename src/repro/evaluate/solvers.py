@@ -27,6 +27,7 @@ from repro.evaluate.cache import StructureCache
 from repro.evaluate.fingerprint import fingerprint_digest, mapping_fingerprint
 from repro.exceptions import UnsupportedModelError
 from repro.mapping.mapping import Mapping
+from repro.telemetry.profile import profile_span
 from repro.types import ExecutionModel
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -121,9 +122,13 @@ def get_solver(name: str, **options) -> ThroughputSolver:
 def _strict_net(mapping: Mapping, cache: StructureCache | None):
     from repro.petri.builder_strict import build_strict_tpn
 
+    def build():
+        with profile_span("net_build"):
+            return build_strict_tpn(mapping)
+
     if cache is None:
-        return build_strict_tpn(mapping)
-    return cache.net(mapping, ExecutionModel.STRICT, lambda: build_strict_tpn(mapping))
+        return build()
+    return cache.net(mapping, ExecutionModel.STRICT, build)
 
 
 # ----------------------------------------------------------------------
@@ -155,7 +160,8 @@ class DeterministicSolver:
                 semantics=self.semantics,
                 max_states=self.max_states,
             )
-        return tpn_throughput_deterministic(_strict_net(mapping, cache))
+        with profile_span("deterministic_tpn"):
+            return tpn_throughput_deterministic(_strict_net(mapping, cache))
 
 
 @register_solver("exponential")
@@ -192,14 +198,19 @@ class ExponentialSolver:
             # exploration are shared across same-fingerprint / same-topology
             # candidates, only the CTMC solve runs per candidate.
             tpn = _strict_net(mapping, cache)
+
+            def _explore():
+                with profile_span("reachability"):
+                    return explore(
+                        tpn, max_states=self.max_states, place_bound=PLACE_BOUND
+                    )
+
             reach = None
             if cache is not None:
                 reach = cache.reachability(
                     mapping,
                     model,
-                    lambda: explore(
-                        tpn, max_states=self.max_states, place_bound=PLACE_BOUND
-                    ),
+                    _explore,
                     max_states=self.max_states,
                     place_bound=PLACE_BOUND,
                 )
@@ -330,23 +341,25 @@ class SimulationSolver:
             # study stays independent of evaluation order and exact under
             # memoization.
             digest = fingerprint_digest(mapping_fingerprint(mapping, model))
-            summary = replicate(
-                ReplicationSpec(
-                    mapping, model, n_datasets=self.n_datasets, law=spec
-                ),
-                n_replications=self.n_replications,
-                seed=[self.seed, digest],
-                estimator=self.estimator,
-                engine=self.engine,
-            )
+            with profile_span("simulate"):
+                summary = replicate(
+                    ReplicationSpec(
+                        mapping, model, n_datasets=self.n_datasets, law=spec
+                    ),
+                    n_replications=self.n_replications,
+                    seed=[self.seed, digest],
+                    estimator=self.estimator,
+                    engine=self.engine,
+                )
             return summary.mean
-        result = simulate_system(
-            mapping,
-            model,
-            n_datasets=self.n_datasets,
-            law=spec,
-            rng=self.rng_for(mapping, model),
-        )
+        with profile_span("simulate"):
+            result = simulate_system(
+                mapping,
+                model,
+                n_datasets=self.n_datasets,
+                law=spec,
+                rng=self.rng_for(mapping, model),
+            )
         if self.estimator == "steady":
             return result.steady_state_throughput()
         return result.throughput

@@ -18,6 +18,7 @@ from repro.exceptions import StructuralError
 from repro.markov.ctmc import CTMC
 from repro.petri.net import TimedEventGraph
 from repro.petri.reachability import PLACE_BOUND, ReachabilityResult, explore
+from repro.telemetry.profile import profile_span
 
 
 def exponential_rates(tpn: TimedEventGraph) -> np.ndarray:
@@ -52,10 +53,14 @@ def ctmc_from_tpn(
     if rates.shape != (tpn.n_transitions,):
         raise StructuralError("rates vector must have one entry per transition")
     if reach is None:
-        reach = explore(tpn, max_states=max_states, place_bound=place_bound)
-    src, trans, dst = reach.flat_arcs()
-    moving = src != dst  # self-loops: invisible to the stationary law
-    chain = CTMC(reach.n_states, src[moving], dst[moving], rates[trans[moving]])
+        with profile_span("reachability"):
+            reach = explore(tpn, max_states=max_states, place_bound=place_bound)
+    with profile_span("markov_build"):
+        src, trans, dst = reach.flat_arcs()
+        moving = src != dst  # self-loops: invisible to the stationary law
+        chain = CTMC(
+            reach.n_states, src[moving], dst[moving], rates[trans[moving]]
+        )
     return chain, reach
 
 
@@ -82,7 +87,8 @@ def tpn_throughput_exponential(
     chain, reach = ctmc_from_tpn(
         tpn, rates, max_states=max_states, place_bound=place_bound, reach=reach
     )
-    pi = chain.stationary_distribution(method=method)
+    with profile_span("ctmc_solve"):
+        pi = chain.stationary_distribution(method=method)
     counted_ix = tpn.last_column_transitions() if counted is None else list(counted)
     if any(not 0 <= t < tpn.n_transitions for t in counted_ix):
         raise StructuralError(

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.exceptions import StructuralError
 from repro.maxplus.graph import TokenGraph
+from repro.telemetry.profile import profile_span
 
 
 @dataclass(frozen=True, slots=True)
@@ -139,6 +140,11 @@ def max_cycle_ratio(graph: TokenGraph) -> CycleResult | None:
     Raises :class:`StructuralError` when the graph contains a zero-token
     cycle (a dead timed event graph whose ratio would be infinite).
     """
+    with profile_span("critical_cycle"):
+        return _max_cycle_ratio(graph)
+
+
+def _max_cycle_ratio(graph: TokenGraph) -> CycleResult | None:
     if graph.has_zero_token_cycle():
         raise StructuralError("graph has a zero-token cycle: the TPN is not live")
     data = _ArcData(graph)

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.exceptions import ConvergenceError, StructuralError
 from repro.maxplus.graph import TokenGraph
+from repro.telemetry.profile import profile_span
 
 
 def _howard_scc(
@@ -121,6 +122,11 @@ def howard_max_cycle_ratio(graph: TokenGraph) -> float | None:
     (which also returns a witness cycle; this engine returns the value
     only, faster).
     """
+    with profile_span("howard"):
+        return _howard_max_cycle_ratio(graph)
+
+
+def _howard_max_cycle_ratio(graph: TokenGraph) -> float | None:
     if graph.has_zero_token_cycle():
         raise StructuralError("graph has a zero-token cycle: the TPN is not live")
     scale = max((abs(a.weight) for a in graph.arcs), default=1.0)

@@ -1,0 +1,298 @@
+"""Performance trajectory across committed benchmark baselines.
+
+Every PR that touches an engine commits a ``BENCH_PR<n>.json`` report
+(see :mod:`repro.bench`). This module reads that history back:
+
+* :func:`load_trajectory` loads every committed report (plus any extra
+  files), normalizing ``meta`` across the schema generations the repo
+  accumulated (early reports lack ``workloads``; pre-telemetry reports
+  lack ``python``/``platform``/``git_revision``);
+* :func:`render_trajectory` renders the per-workload median-seconds
+  trajectory and the speedup-ratio history — the ``cli bench
+  trajectory`` view of how each engine's cost moved across PRs;
+* :func:`compare_reports` is the regression gate behind ``cli bench
+  compare``: engine-by-engine ``median_s`` ratios against a tolerance,
+  with scale-mismatched engines *skipped* rather than misjudged (a
+  ``--quick`` run must never be compared against a full-size run of the
+  same engine).
+
+The gate is wired into CI: a quick benchmark of the cheap workloads is
+compared against the committed ``BENCH_QUICK_BASELINE.json`` with a
+generous tolerance, so a pathological slowdown fails the build while
+ordinary CI jitter does not.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+#: Engine-result keys that describe problem scale (state counts, net
+#: sizes, replication counts, presets — not timings). Two reports are
+#: comparable on an engine only when every scale key they *share*
+#: agrees; ``n_jobs``-style machine facts deliberately stay out so a
+#: laptop report can be compared against a CI report of the same sizes.
+SCALE_KEYS = frozenset({
+    "n_states",
+    "n_arcs",
+    "n_events",
+    "n_datasets",
+    "n_replications",
+    "n_candidates",
+    "n_restarts",
+    "n",
+    "n_clients",
+    "n_workers",
+    "units",
+    "capacity",
+    "distinct_structures",
+    "max_entries",
+    "preset",
+})
+
+#: Canonical meta keys, oldest schema generation first. Normalization
+#: fills the gaps with ``None`` so consumers never branch on vintage.
+META_KEYS = (
+    "bench",
+    "quick",
+    "repeats",
+    "workloads",
+    "numpy",
+    "cpu_count",
+    "python",
+    "platform",
+    "git_revision",
+)
+
+_REPORT_RE = re.compile(r"^BENCH_PR(\d+)\.json$")
+
+
+# ----------------------------------------------------------------------
+# Loading and normalization
+# ----------------------------------------------------------------------
+def load_report(path: str | Path) -> dict:
+    """One benchmark report, schema-checked and meta-normalized."""
+    path = Path(path)
+    with open(path) as fh:
+        try:
+            report = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path} is not valid JSON: {exc}") from None
+    if not isinstance(report, dict) or not isinstance(
+        report.get("engines"), dict
+    ):
+        raise ValueError(
+            f"{path} is not a benchmark report (no 'engines' table)"
+        )
+    report["meta"] = normalize_meta(report.get("meta"))
+    report.setdefault("speedups", {})
+    return report
+
+
+def normalize_meta(meta: dict | None) -> dict:
+    """Fold any schema generation of ``meta`` onto the current keys.
+
+    PR 1-4 reports carry ``[bench, cpu_count, numpy, quick, repeats]``;
+    PR 5+ add ``workloads``; the telemetry era added ``python``,
+    ``platform`` and ``git_revision``. Missing keys become ``None``
+    (and ``workloads`` an empty list) so every vintage reads alike.
+    """
+    meta = dict(meta or {})
+    normalized = {key: meta.get(key) for key in META_KEYS}
+    if normalized["workloads"] is None:
+        normalized["workloads"] = []
+    # Unknown future keys ride along rather than being dropped.
+    for key, value in meta.items():
+        normalized.setdefault(key, value)
+    return normalized
+
+
+def report_paths(directory: str | Path = ".") -> list[Path]:
+    """Committed ``BENCH_PR<n>.json`` files, ordered by PR number."""
+    directory = Path(directory)
+    found = []
+    for path in directory.glob("BENCH_PR*.json"):
+        match = _REPORT_RE.match(path.name)
+        if match:
+            found.append((int(match.group(1)), path))
+    return [path for _, path in sorted(found)]
+
+
+def load_trajectory(
+    directory: str | Path = ".",
+    extra: tuple[str, ...] | list[str] = (),
+) -> list[dict]:
+    """Every committed report plus ``extra`` files, oldest first.
+
+    Returns ``[{"label", "path", "meta", "engines", "speedups"}, ...]``;
+    labels are ``PR<n>`` for committed baselines and the file stem for
+    extras. Unreadable committed files are skipped (a half-written
+    report must not break the trajectory view); extras raise.
+    """
+    entries = []
+    for path in report_paths(directory):
+        try:
+            report = load_report(path)
+        except (OSError, ValueError):
+            continue
+        match = _REPORT_RE.match(path.name)
+        entries.append({
+            "label": f"PR{match.group(1)}",
+            "path": str(path),
+            "meta": report["meta"],
+            "engines": report["engines"],
+            "speedups": report["speedups"],
+        })
+    for name in extra:
+        path = Path(name)
+        report = load_report(path)
+        entries.append({
+            "label": path.stem,
+            "path": str(path),
+            "meta": report["meta"],
+            "engines": report["engines"],
+            "speedups": report["speedups"],
+        })
+    return entries
+
+
+# ----------------------------------------------------------------------
+# Trajectory rendering
+# ----------------------------------------------------------------------
+def render_trajectory(entries: list[dict]) -> str:
+    """Per-workload median-seconds table plus the speedup history.
+
+    One row per engine ever benchmarked, one column per report; ``-``
+    marks reports that did not time the engine (filtered runs, engines
+    that did not exist yet). A trailing block does the same for the
+    speedup ratios.
+    """
+    if not entries:
+        return "no benchmark reports"
+    labels = [e["label"] for e in entries]
+    width = max(9, max(len(label) for label in labels) + 1)
+    engine_names = sorted({name for e in entries for name in e["engines"]})
+    lines = [
+        "median seconds per workload:",
+        f"{'workload':30s}" + "".join(f"{label:>{width}s}" for label in labels),
+    ]
+    for name in engine_names:
+        cells = []
+        for entry in entries:
+            row = entry["engines"].get(name)
+            cells.append(
+                f"{row['median_s']:>{width}.4f}" if row else f"{'-':>{width}s}"
+            )
+        lines.append(f"{name:30s}" + "".join(cells))
+    speedup_keys = sorted({key for e in entries for key in e["speedups"]})
+    if speedup_keys:
+        lines.append("")
+        lines.append("speedup ratios (slower / faster):")
+        lines.append(
+            f"{'speedup':30s}"
+            + "".join(f"{label:>{width}s}" for label in labels)
+        )
+        for key in speedup_keys:
+            cells = []
+            for entry in entries:
+                ratio = entry["speedups"].get(key)
+                cells.append(
+                    f"{ratio:>{width}.2f}" if ratio is not None
+                    else f"{'-':>{width}s}"
+                )
+            lines.append(f"{key:30s}" + "".join(cells))
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# The regression gate
+# ----------------------------------------------------------------------
+def compare_reports(
+    baseline: dict, new: dict, *, tolerance: float = 0.5
+) -> dict:
+    """Engine-by-engine regression verdicts between two reports.
+
+    For every engine present in both reports whose shared scale keys
+    agree, the verdict is driven by ``ratio = new / baseline`` of the
+    median seconds: ``regression`` when ``ratio > 1 + tolerance``,
+    ``improved`` when ``ratio < 1 / (1 + tolerance)``, ``ok`` between.
+    Scale-mismatched engines are ``skipped`` with the offending keys
+    (comparing a quick run against a full run proves nothing). The
+    result's ``ok`` flag is False exactly when any regression fired.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be >= 0")
+    base_engines = baseline.get("engines") or {}
+    new_engines = new.get("engines") or {}
+    engines: dict[str, dict] = {}
+    regressions: list[str] = []
+    skipped: list[str] = []
+    for name in sorted(set(base_engines) & set(new_engines)):
+        base_row, new_row = base_engines[name], new_engines[name]
+        mismatched = sorted(
+            key
+            for key in set(base_row) & set(new_row) & SCALE_KEYS
+            if base_row[key] != new_row[key]
+        )
+        if mismatched:
+            engines[name] = {"status": "skipped", "mismatched": mismatched}
+            skipped.append(name)
+            continue
+        base_s = float(base_row["median_s"])
+        new_s = float(new_row["median_s"])
+        ratio = new_s / max(base_s, 1e-12)
+        if ratio > 1.0 + tolerance:
+            status = "regression"
+            regressions.append(name)
+        elif ratio < 1.0 / (1.0 + tolerance):
+            status = "improved"
+        else:
+            status = "ok"
+        engines[name] = {
+            "status": status,
+            "baseline_s": base_s,
+            "new_s": new_s,
+            "ratio": ratio,
+        }
+    return {
+        "tolerance": tolerance,
+        "engines": engines,
+        "regressions": regressions,
+        "skipped": skipped,
+        "missing": sorted(set(base_engines) - set(new_engines)),
+        "added": sorted(set(new_engines) - set(base_engines)),
+        "ok": not regressions,
+    }
+
+
+def render_comparison(result: dict) -> str:
+    """Operator-readable verdict table for :func:`compare_reports`."""
+    lines = [
+        f"{'workload':30s} {'baseline_s':>11s} {'new_s':>11s} "
+        f"{'ratio':>7s}  status"
+    ]
+    for name, row in result["engines"].items():
+        if row["status"] == "skipped":
+            lines.append(
+                f"{name:30s} {'-':>11s} {'-':>11s} {'-':>7s}  "
+                f"skipped (scale mismatch: {', '.join(row['mismatched'])})"
+            )
+            continue
+        lines.append(
+            f"{name:30s} {row['baseline_s']:>11.4f} {row['new_s']:>11.4f} "
+            f"{row['ratio']:>7.2f}  {row['status']}"
+        )
+    for name in result["missing"]:
+        lines.append(f"{name:30s} (in baseline only)")
+    for name in result["added"]:
+        lines.append(f"{name:30s} (new engine, no baseline)")
+    verdict = (
+        "PASS" if result["ok"]
+        else f"FAIL ({len(result['regressions'])} regression(s))"
+    )
+    lines.append(
+        f"verdict: {verdict} at tolerance {result['tolerance']:g} "
+        f"({len(result['skipped'])} skipped)"
+    )
+    return "\n".join(lines)

@@ -320,6 +320,17 @@ class ServiceClient:
         reply = self.request({"op": "metrics"}, timeout=timeout)
         return {k: v for k, v in reply.items() if k not in ("ok", "op")}
 
+    def profile(self, *, timeout=_UNSET) -> dict:
+        """Fetch the per-phase cost-attribution tree.
+
+        Returns ``{"profile": snapshot, ...}`` — a worker answers with
+        its engine profiler's phase tree; an orchestrator answers with
+        the fleet-merged tree plus its own route/merge/request tree
+        under ``orchestrator`` and ``workers_reporting``.
+        """
+        reply = self.request({"op": "profile"}, timeout=timeout)
+        return {k: v for k, v in reply.items() if k not in ("ok", "op")}
+
     def evaluate(self, task: dict, *, timeout=_UNSET) -> float:
         """Score one wire-format task; a per-task failure raises."""
         reply = self.request({"op": "evaluate", "task": task}, timeout=timeout)

@@ -74,6 +74,7 @@ from repro.telemetry import (
     render_prometheus,
 )
 from repro.telemetry.clock import monotonic_clock
+from repro.telemetry.profile import Profiler, merge_profile_snapshots
 
 log = get_logger("service.orchestrator")
 
@@ -178,6 +179,8 @@ def handle_orchestrator_request(
             return server.stats_reply(), False
         if op == "metrics":
             return server.metrics_reply(), False
+        if op == "profile":
+            return server.profile_reply(), False
         if op == "shutdown":
             server.begin_shutdown()
             log.info("orchestrator shutdown requested; draining")
@@ -218,7 +221,8 @@ def handle_orchestrator_request(
             return reply, False
         raise ServiceError(
             f"unknown op {op!r}; supported: "
-            "ping, stats, metrics, evaluate, solve, batch, search, shutdown"
+            "ping, stats, metrics, profile, evaluate, solve, batch, search, "
+            "shutdown"
         )
     except ServiceOverloaded as exc:
         retry_after = (
@@ -294,6 +298,7 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
         ping_timeout: float = 2.0,
         recorder: FlightRecorder | None = None,
         metrics: MetricsRegistry | None = None,
+        profiler: Profiler | None = None,
         clock: Callable[[], float] = monotonic_clock,
     ) -> None:
         if ping_interval is not None and ping_interval <= 0:
@@ -326,6 +331,10 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
         self.recorder = recorder
         self.clock = clock
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Same clock as the request histograms, and the phase records below
+        # reuse the very floats the histograms observe — so the profile
+        # tree's root total reconciles exactly with the histogram sum.
+        self.profiler = profiler if profiler is not None else Profiler(clock=clock)
         m = self.metrics
         m.counter(
             "repro_orchestrator_requests_total", "work requests handled",
@@ -434,6 +443,7 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
         finally:
             total_s = self.clock() - started
             self._hist_request.observe(total_s)
+            self.profiler.record(("request",), total_s)
         request_id = payload.get("request_id")
         if request_id is not None:
             reply["telemetry"] = {
@@ -550,6 +560,9 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
         self._hist_route.observe(tele["route_s"])
         self._hist_merge.observe(tele["merge_s"])
         self._hist_request.observe(total_s)
+        self.profiler.record(("request",), total_s)
+        self.profiler.record(("request", "route"), tele["route_s"])
+        self.profiler.record(("request", "merge"), tele["merge_s"])
         reply = {
             "ok": True,
             "op": "batch",
@@ -861,6 +874,42 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
             "exposition": render_prometheus(merged),
         }
 
+    def profile_reply(self) -> dict:
+        """The fleet-merged view behind the ``profile`` op.
+
+        Scrapes every live worker's profiler snapshot and merges the
+        phase trees (calls and totals sum, self-times are recomputed)
+        under the same identical-shape discipline as the histogram
+        merge; the orchestrator's own route/merge/request tree rides
+        alongside under ``orchestrator``.
+        """
+        snapshots: list[dict] = []
+        reporting = 0
+        for worker in self.catalog.workers():
+            if not worker.live:
+                continue
+            try:
+                reply = self._send(
+                    worker, {"op": "profile"},
+                    timeout=self.stats_timeout, work=False,
+                )
+            except ServiceError:
+                self.catalog.record_failure(worker.name)
+                continue
+            snapshot = reply.get("profile")
+            if isinstance(snapshot, dict):
+                snapshots.append(snapshot)
+                reporting += 1
+        return {
+            "ok": True,
+            "op": "profile",
+            "role": "orchestrator",
+            "version": __version__,
+            "workers_reporting": reporting,
+            "profile": merge_profile_snapshots(*snapshots),
+            "orchestrator": self.profiler.snapshot(),
+        }
+
     def finalize_reply(self, payload: dict, reply: dict, duration_s: float) -> None:
         """Feed the flight recorder after a work reply is built.
 
@@ -925,7 +974,7 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
     # workers bound their own admission and overloads propagate back)
     # ------------------------------------------------------------------
     def try_begin_request(self, op: object = None) -> bool:
-        control = op in ("ping", "stats", "metrics", "shutdown")
+        control = op in ("ping", "stats", "metrics", "profile", "shutdown")
         with self._inflight_lock:
             if not control and self._stopping:
                 return False

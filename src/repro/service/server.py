@@ -16,6 +16,8 @@ newline-delimited JSON requests and answers them through the shared
   shared structure cache;
 * ``metrics`` — the engine's metrics-registry snapshot, as JSON and as
   Prometheus text exposition (see :mod:`repro.telemetry.metrics`);
+* ``profile`` — the engine profiler's per-phase cost-attribution tree
+  (see :mod:`repro.telemetry.profile`);
 * ``shutdown`` — reply, then stop the server loop cleanly.
 
 Telemetry: a request frame carrying a top-level ``request_id`` gets a
@@ -67,7 +69,7 @@ log = get_logger("service.server")
 #: Operations admitted even when the server is saturated or draining —
 #: the observe-and-stop plane must stay reachable exactly when the
 #: work plane is refusing traffic.
-CONTROL_OPS = frozenset({"ping", "stats", "metrics", "shutdown"})
+CONTROL_OPS = frozenset({"ping", "stats", "metrics", "profile", "shutdown"})
 
 #: Operations that do evaluation work (admission-bounded, span-timed).
 WORK_OPS = frozenset({"evaluate", "solve", "batch", "search"})
@@ -138,6 +140,14 @@ def handle_request(server: "ServiceServer", payload: dict) -> tuple[dict, bool]:
                 "metrics": snapshot,
                 "exposition": render_prometheus(snapshot),
             }, False
+        if op == "profile":
+            return {
+                "ok": True,
+                "op": "profile",
+                "role": "worker",
+                "version": __version__,
+                "profile": engine.profiler.snapshot(),
+            }, False
         if op == "shutdown":
             # Flip the admission gate first: requests racing the drain
             # are shed with a structured reply instead of being half
@@ -187,7 +197,8 @@ def handle_request(server: "ServiceServer", payload: dict) -> tuple[dict, bool]:
             return {"ok": True, "op": "search", **engine.run_search(params)}, False
         raise ServiceError(
             f"unknown op {op!r}; supported: "
-            "ping, stats, metrics, evaluate, solve, batch, search, shutdown"
+            "ping, stats, metrics, profile, evaluate, solve, batch, "
+            "search, shutdown"
         )
     except ServiceError as exc:
         return error_reply(str(exc)), False

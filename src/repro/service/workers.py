@@ -47,6 +47,7 @@ from repro.service.faults import FaultInjector
 from repro.service.queue import CoalescingQueue
 from repro.telemetry import MetricsRegistry, get_logger
 from repro.telemetry.clock import monotonic_clock
+from repro.telemetry.profile import Profiler, profiling
 from repro.types import ExecutionModel
 
 log = get_logger("service.engine")
@@ -117,6 +118,7 @@ class EvaluationEngine:
         faults: FaultInjector | None = None,
         metrics: MetricsRegistry | None = None,
         clock: Callable[[], float] = monotonic_clock,
+        profiler: Profiler | None = None,
     ) -> None:
         if n_jobs < 1:
             raise ValueError("n_jobs must be >= 1")
@@ -157,6 +159,14 @@ class EvaluationEngine:
         self.degraded = False
         self.clock = clock
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Per-phase cost attribution behind the ``profile`` op. The
+        #: batch/queue_wait/execute phases are recorded from the *same*
+        #: clock reads the latency histograms observe, so the profile
+        #: root total and ``repro_engine_batch_seconds``' sum reconcile
+        #: exactly; solver-internal phases nest under batch/execute.
+        self.profiler = (
+            profiler if profiler is not None else Profiler(clock=clock)
+        )
         self._bind_metrics()
 
     def _bind_metrics(self) -> None:
@@ -273,7 +283,14 @@ class EvaluationEngine:
                     t_exec = self.clock()
                     queue_wait_s = t_exec - t_wait
                     hits0, misses0 = self.cache.hits, self.cache.misses
-                    values = self._evaluate_resilient(lead_tasks)
+                    # Solver-internal profile spans (fingerprint, net
+                    # build, reachability, CTMC, simulate) land under
+                    # batch/execute on this thread for the duration of
+                    # the evaluator pass.
+                    with profiling(
+                        self.profiler, base=("batch", "execute")
+                    ):
+                        values = self._evaluate_resilient(lead_tasks)
                     execute_s = self.clock() - t_exec
                     # A failure value is an evaluator run that raised
                     # mid-flight (resolution errors never reach here),
@@ -338,6 +355,11 @@ class EvaluationEngine:
         self._hist_queue_wait.observe(queue_wait_s)
         self._hist_execute.observe(execute_s)
         self._hist_batch.observe(total_s)
+        # Same floats as the histograms above: profile/metrics reconcile
+        # exactly, and batch self-time is the validation/collect overhead.
+        self.profiler.record(("batch",), total_s)
+        self.profiler.record(("batch", "queue_wait"), queue_wait_s)
+        self.profiler.record(("batch", "execute"), execute_s)
         stats["span"] = {
             "queue_wait_s": queue_wait_s,
             "execute_s": execute_s,
@@ -379,7 +401,8 @@ class EvaluationEngine:
             platform = Platform.from_speeds(
                 params["speeds"], params.get("bandwidth", 1.0)
             )
-            with self._eval_lock:
+            with self._eval_lock, profiling(self.profiler), \
+                    self.profiler.span("search"):
                 result = random_restart_search(
                     app,
                     platform,

@@ -7,6 +7,11 @@ Four small, dependency-free pieces that every service tier plugs into:
   text exposition.  Callback-backed instruments read the legacy ad-hoc
   stats counters directly, so the ``metrics`` op reconciles exactly with
   the older ``stats`` op by construction.
+- :mod:`repro.telemetry.profile` — nested, exception-safe span timers
+  aggregated into a per-phase time/call/self-time tree.  The engine and
+  the orchestrator feed it the same floats their latency histograms
+  observe, so the ``profile`` op reconciles exactly with ``metrics``;
+  worker trees merge fleet-wide by summing matching paths.
 - :mod:`repro.telemetry.trace` — request-id minting and span helpers.
   Every protocol frame may carry a top-level ``request_id`` which the
   orchestrator forwards into per-worker sub-batches and failover
@@ -37,6 +42,15 @@ from .metrics import (
     merge_snapshots,
     render_prometheus,
 )
+from .profile import (
+    Profiler,
+    active_profiler,
+    flatten_phases,
+    merge_profile_snapshots,
+    profile_span,
+    profiling,
+    render_profile,
+)
 from .recorder import FlightRecorder, find_trace, read_events
 from .trace import new_request_id
 
@@ -49,14 +63,21 @@ __all__ = [
     "JsonLineFormatter",
     "ManualClock",
     "MetricsRegistry",
+    "Profiler",
+    "active_profiler",
     "configure_logging",
     "find_trace",
+    "flatten_phases",
     "get_logger",
     "histogram_quantile",
+    "merge_profile_snapshots",
     "merge_snapshots",
     "monotonic_clock",
     "new_request_id",
+    "profile_span",
+    "profiling",
     "read_events",
+    "render_profile",
     "render_prometheus",
     "wall_clock",
 ]

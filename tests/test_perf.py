@@ -1,0 +1,297 @@
+"""Tests for :mod:`repro.perf` and the ``cli bench`` subcommands.
+
+Covers meta normalization across the report schema generations the
+repo accumulated, the regression-gate comparison (tolerance boundary
+behavior, scale-mismatch skipping, missing/added engines), trajectory
+loading over the committed ``BENCH_PR*.json`` baselines, and the CLI
+surface: ``bench --list-workloads``, ``bench --output -`` streaming,
+``bench trajectory`` and ``bench compare`` exit codes (the doctored-2x
+acceptance check rides here).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import WORKLOAD_ENGINES, available_workloads
+from repro.cli import main
+from repro.perf import (
+    META_KEYS,
+    SCALE_KEYS,
+    compare_reports,
+    load_report,
+    load_trajectory,
+    normalize_meta,
+    render_comparison,
+    render_trajectory,
+    report_paths,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def report(engines: dict, meta: dict | None = None) -> dict:
+    return {"engines": engines, "meta": meta or {}, "speedups": {}}
+
+
+# ----------------------------------------------------------------------
+# Meta normalization across schema generations
+# ----------------------------------------------------------------------
+class TestNormalizeMeta:
+    def test_oldest_generation_fills_gaps(self):
+        # The PR 1-4 vintage: no workloads, no interpreter provenance.
+        meta = normalize_meta({
+            "bench": "engine microbenchmarks", "cpu_count": 1,
+            "numpy": "2.4.6", "quick": False, "repeats": 5,
+        })
+        assert set(META_KEYS) <= set(meta)
+        assert meta["workloads"] == []
+        assert meta["python"] is None
+        assert meta["git_revision"] is None
+        assert meta["repeats"] == 5
+
+    def test_none_meta_normalizes(self):
+        meta = normalize_meta(None)
+        assert meta["workloads"] == []
+        assert meta["bench"] is None
+
+    def test_unknown_future_keys_ride_along(self):
+        meta = normalize_meta({"bench": "x", "hypothetical": 7})
+        assert meta["hypothetical"] == 7
+
+    def test_committed_reports_all_normalize(self):
+        for path in report_paths(REPO_ROOT):
+            meta = load_report(path)["meta"]
+            assert isinstance(meta["workloads"], list)
+            assert set(META_KEYS) <= set(meta)
+
+
+# ----------------------------------------------------------------------
+# Report loading
+# ----------------------------------------------------------------------
+class TestLoadReport:
+    def test_rejects_non_report_json(self, tmp_path):
+        bogus = tmp_path / "x.json"
+        bogus.write_text('{"foo": 1}')
+        with pytest.raises(ValueError, match="no 'engines' table"):
+            load_report(bogus)
+
+    def test_rejects_invalid_json(self, tmp_path):
+        bogus = tmp_path / "x.json"
+        bogus.write_text("not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_report(bogus)
+
+    def test_report_paths_sort_numerically(self, tmp_path):
+        for n in (10, 2, 1):
+            (tmp_path / f"BENCH_PR{n}.json").write_text("{}")
+        (tmp_path / "BENCH_QUICK_BASELINE.json").write_text("{}")
+        names = [p.name for p in report_paths(tmp_path)]
+        assert names == [
+            "BENCH_PR1.json", "BENCH_PR2.json", "BENCH_PR10.json",
+        ]
+
+
+# ----------------------------------------------------------------------
+# The regression gate
+# ----------------------------------------------------------------------
+class TestCompareReports:
+    def test_identical_reports_pass(self):
+        r = report({"a": {"median_s": 1.0, "n_states": 100}})
+        result = compare_reports(r, r, tolerance=0.5)
+        assert result["ok"] is True
+        assert result["engines"]["a"]["status"] == "ok"
+        assert result["engines"]["a"]["ratio"] == 1.0
+
+    def test_tolerance_boundary(self):
+        base = report({"a": {"median_s": 1.0}})
+        assert compare_reports(
+            base, report({"a": {"median_s": 1.4}}), tolerance=0.5
+        )["ok"] is True
+        result = compare_reports(
+            base, report({"a": {"median_s": 1.6}}), tolerance=0.5
+        )
+        assert result["ok"] is False
+        assert result["regressions"] == ["a"]
+        assert result["engines"]["a"]["status"] == "regression"
+
+    def test_improvement_is_labelled_not_failed(self):
+        result = compare_reports(
+            report({"a": {"median_s": 1.0}}),
+            report({"a": {"median_s": 0.2}}),
+            tolerance=0.5,
+        )
+        assert result["ok"] is True
+        assert result["engines"]["a"]["status"] == "improved"
+
+    def test_scale_mismatch_skips_instead_of_misjudging(self):
+        # A quick-mode run against a full-size baseline: the 10x "slowdown"
+        # is a size change, not a regression.
+        result = compare_reports(
+            report({"a": {"median_s": 0.1, "n_states": 1000}}),
+            report({"a": {"median_s": 1.0, "n_states": 10368}}),
+            tolerance=0.5,
+        )
+        assert result["ok"] is True
+        assert result["skipped"] == ["a"]
+        assert result["engines"]["a"] == {
+            "status": "skipped", "mismatched": ["n_states"],
+        }
+
+    def test_machine_facts_are_not_scale_keys(self):
+        assert "n_jobs" not in SCALE_KEYS
+        assert "n_states" in SCALE_KEYS
+
+    def test_missing_and_added_engines_reported(self):
+        result = compare_reports(
+            report({"old": {"median_s": 1.0}}),
+            report({"new": {"median_s": 1.0}}),
+        )
+        assert result["missing"] == ["old"]
+        assert result["added"] == ["new"]
+        assert result["ok"] is True  # nothing comparable regressed
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            compare_reports(report({}), report({}), tolerance=-0.1)
+
+    def test_render_comparison_verdict_lines(self):
+        result = compare_reports(
+            report({"a": {"median_s": 1.0}, "b": {"median_s": 1.0, "n": 4}}),
+            report({"a": {"median_s": 9.0}, "b": {"median_s": 1.0, "n": 8}}),
+            tolerance=0.5,
+        )
+        text = render_comparison(result)
+        assert "FAIL (1 regression(s))" in text
+        assert "skipped (scale mismatch: n)" in text
+
+
+# ----------------------------------------------------------------------
+# Trajectory over the committed baselines
+# ----------------------------------------------------------------------
+class TestTrajectory:
+    def test_loads_every_committed_baseline(self):
+        entries = load_trajectory(REPO_ROOT)
+        assert len(entries) >= 7
+        labels = [e["label"] for e in entries]
+        assert labels[0] == "PR1"
+        assert labels == sorted(
+            labels, key=lambda s: int(s.removeprefix("PR"))
+        )
+
+    def test_render_covers_workloads_and_speedups(self):
+        text = render_trajectory(load_trajectory(REPO_ROOT))
+        assert "reachability.vectorized" in text
+        assert "PR1" in text and "PR7" in text
+        assert "speedup ratios" in text
+        # An engine absent from a vintage renders as '-', not a crash.
+        assert " -" in text
+
+    def test_extra_reports_append_with_stem_labels(self, tmp_path):
+        extra = tmp_path / "candidate.json"
+        extra.write_text(json.dumps(report({"a": {"median_s": 1.0}})))
+        entries = load_trajectory(tmp_path, extra=(str(extra),))
+        assert [e["label"] for e in entries] == ["candidate"]
+
+    def test_empty_directory_yields_no_entries(self, tmp_path):
+        assert load_trajectory(tmp_path) == []
+        assert render_trajectory([]) == "no benchmark reports"
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+class TestCliBench:
+    def test_list_workloads(self, capsys):
+        assert main(["bench", "--list-workloads"]) == 0
+        names = capsys.readouterr().out.split()
+        assert tuple(names) == WORKLOAD_ENGINES == available_workloads()
+
+    def test_compare_unchanged_baseline_exits_0(self, capsys):
+        rc = main([
+            "bench", "compare",
+            str(REPO_ROOT / "BENCH_PR7.json"),
+            str(REPO_ROOT / "BENCH_PR7.json"),
+            "--tolerance", "0.5",
+        ])
+        assert rc == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_compare_doctored_2x_slowdown_exits_1(self, tmp_path, capsys):
+        baseline = REPO_ROOT / "BENCH_PR7.json"
+        doctored = json.loads(baseline.read_text())
+        for row in doctored["engines"].values():
+            row["median_s"] *= 2.0
+        doctored_path = tmp_path / "doctored.json"
+        doctored_path.write_text(json.dumps(doctored))
+        rc = main([
+            "bench", "compare", str(baseline), str(doctored_path),
+            "--tolerance", "0.5",
+        ])
+        assert rc == 1
+        assert "regression" in capsys.readouterr().out
+
+    def test_compare_json_mode(self, capsys):
+        rc = main([
+            "bench", "compare",
+            str(REPO_ROOT / "BENCH_PR7.json"),
+            str(REPO_ROOT / "BENCH_PR7.json"),
+            "--json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["engines"]
+
+    def test_compare_rejects_bad_inputs(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["bench", "compare", "/nonexistent.json",
+                  str(REPO_ROOT / "BENCH_PR7.json")])
+        capsys.readouterr()
+        with pytest.raises(SystemExit):
+            main(["bench", "compare", str(REPO_ROOT / "BENCH_PR7.json"),
+                  str(REPO_ROOT / "BENCH_PR7.json"), "--tolerance", "-1"])
+
+    def test_trajectory_table_and_json(self, capsys):
+        assert main(["bench", "trajectory", "--dir", str(REPO_ROOT)]) == 0
+        out = capsys.readouterr().out
+        assert "median seconds per workload" in out
+        assert main([
+            "bench", "trajectory", "--dir", str(REPO_ROOT), "--json",
+        ]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert entries[0]["label"] == "PR1"
+
+    def test_trajectory_empty_dir_errors(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["bench", "trajectory", "--dir", str(tmp_path)])
+
+    def test_output_dash_streams_pure_json_and_writes_no_file(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        rc = main([
+            "bench", "--quick", "--workloads", "maxplus", "--output", "-",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)  # pure JSON stream
+        assert "maxplus.matmul" in payload["engines"]
+        assert payload["meta"]["quick"] is True
+        assert list(tmp_path.iterdir()) == []  # nothing touched disk
+
+    def test_output_dash_bypasses_overwrite_guard(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        # '-' is a stream, not a path: an existing file named '-' (or any
+        # committed baseline) must not trip the --force guard.
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "-").write_text("sentinel")
+        rc = main([
+            "bench", "--quick", "--workloads", "maxplus", "--output", "-",
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        assert (tmp_path / "-").read_text() == "sentinel"

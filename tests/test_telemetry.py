@@ -238,6 +238,57 @@ class TestPrometheusRendering:
         assert "repro_lat_seconds_count 3\n" in text
         assert text.endswith("\n")
 
+    def test_help_line_only_when_help_registered(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_bare_total", "").inc(1)
+        text = render_prometheus(reg.collect())
+        # TYPE is unconditional; HELP only appears with registered text.
+        assert "# TYPE repro_bare_total counter\n" in text
+        assert "# HELP" not in text
+
+
+class TestHelpCompleteness:
+    """Every built-in instrument must ship scrape-ready help text."""
+
+    @staticmethod
+    def assert_fully_helped(snapshot: dict, exposition: str) -> None:
+        missing = [
+            name for name, entry in snapshot.items() if not entry.get("help")
+        ]
+        assert not missing, f"instruments without help: {missing}"
+        # Exposition-level pairing: one # HELP per # TYPE, no orphans.
+        assert exposition.count("# TYPE ") == len(snapshot)
+        assert exposition.count("# HELP ") == len(snapshot)
+
+    def test_engine_instruments(self):
+        engine = EvaluationEngine()
+        try:
+            snap = engine.metrics.collect()
+            self.assert_fully_helped(snap, render_prometheus(snap))
+        finally:
+            engine.close()
+
+    def test_server_scoped_instruments(self):
+        engine = EvaluationEngine()
+        server, thread = serve_in_thread(engine)
+        host, port = server.endpoint
+        try:
+            with ServiceClient(host, port) as client:
+                reply = client.metrics()
+            self.assert_fully_helped(reply["metrics"], reply["exposition"])
+        finally:
+            server.shutdown()
+            server.server_close()
+            engine.close()
+            thread.join(timeout=5)
+
+    def test_fleet_merged_instruments(self):
+        with local_fleet(2, ping_interval=None) as fleet:
+            with fleet.client() as client:
+                client.evaluate_batch([pattern_task()])
+                reply = client.metrics()
+            self.assert_fully_helped(reply["metrics"], reply["exposition"])
+
 
 # ----------------------------------------------------------------------
 # Flight recorder
