@@ -272,8 +272,16 @@ def _run_chunk_via_service(
     if failures:
         first = failures[0]
         unit = chunk[first.get("index", 0)]
+        quarantined = sum(
+            1 for f in failures if f.get("reason") == "quarantined"
+        )
+        poison_hint = (
+            f" ({quarantined} quarantined as poison after failing on "
+            f"distinct workers)" if quarantined else ""
+        )
         raise CampaignError(
-            f"service failed {len(failures)} unit(s); first: scenario "
+            f"service failed {len(failures)} unit(s){poison_hint}; "
+            f"first: scenario "
             f"{unit.scenario!r} ({first.get('error')}: "
             f"{first.get('message')}){_trace_hint()}"
         )

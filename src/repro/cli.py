@@ -194,11 +194,20 @@ def _cmd_serve_orchestrator(args, parser) -> int:
         parser.error("--ping-interval must be > 0")
     if args.failover_sweeps < 1:
         parser.error("--failover-sweeps must be >= 1")
+    if args.breaker_cooldown < 0:
+        parser.error("--breaker-cooldown must be >= 0")
+    if args.hedge_threshold is not None and args.hedge_threshold <= 0:
+        parser.error("--hedge-threshold must be > 0")
+    if args.max_unit_attempts < 1:
+        parser.error("--max-unit-attempts must be >= 1")
     try:
         endpoints = parse_endpoints(args.workers)
     except ServiceError as exc:
         parser.error(str(exc))
-    catalog = WorkerCatalog(max_consecutive_failures=args.max_worker_failures)
+    catalog = WorkerCatalog(
+        max_consecutive_failures=args.max_worker_failures,
+        breaker_cooldown_s=args.breaker_cooldown,
+    )
     for worker_host, worker_port in endpoints:
         catalog.register(worker_host, worker_port)
     retry = (
@@ -214,6 +223,9 @@ def _cmd_serve_orchestrator(args, parser) -> int:
             port=args.port,
             retry=retry,
             ping_interval=args.ping_interval,
+            hedge=not args.no_hedge,
+            hedge_threshold=args.hedge_threshold,
+            max_unit_attempts=args.max_unit_attempts,
             recorder=recorder,
         )
     except OSError as exc:
@@ -331,11 +343,51 @@ def _cmd_serve(args, parser) -> int:
     return 0
 
 
+def _parse_fleet_faults(spec: str, n_workers: int) -> dict[int, str]:
+    """Expand a ``fleet --faults`` value into ``{worker index: spec}``.
+
+    Two shapes: a plain injector spec (``"drop:1"``) arms every worker
+    identically, and per-index clauses (``"0=crash:1;2=hang:1:5"``) arm
+    only the named workers. Each sub-spec is validated eagerly via
+    :meth:`FaultInjector.from_spec`, so a bad clause fails the command
+    instead of a worker at startup.
+    """
+    from repro.exceptions import ServiceError
+    from repro.service import FaultInjector
+
+    plans: dict[int, str] = {}
+    if "=" in spec:
+        for clause in spec.split(";"):
+            clause = clause.strip()
+            if not clause:
+                continue
+            index_text, _, sub_spec = clause.partition("=")
+            try:
+                index = int(index_text)
+            except ValueError:
+                raise ServiceError(
+                    f"invalid fleet fault clause {clause!r}: "
+                    f"{index_text!r} is not a worker index"
+                ) from None
+            if not 0 <= index < n_workers:
+                raise ServiceError(
+                    f"invalid fleet fault clause {clause!r}: worker index "
+                    f"{index} out of range for {n_workers} worker(s)"
+                )
+            plans[index] = sub_spec
+    else:
+        plans = {index: spec for index in range(n_workers)}
+    for sub_spec in plans.values():
+        FaultInjector.from_spec(sub_spec)  # validate eagerly
+    return plans
+
+
 def _cmd_fleet(args, parser) -> int:
     import tempfile
 
     from repro.exceptions import ServiceError
     from repro.service import (
+        FleetSupervisor,
         OrchestratorServer,
         RetryPolicy,
         WorkerCatalog,
@@ -353,6 +405,30 @@ def _cmd_fleet(args, parser) -> int:
         parser.error("--max-worker-failures must be >= 1")
     if args.ping_interval is not None and args.ping_interval <= 0:
         parser.error("--ping-interval must be > 0")
+    if args.breaker_cooldown < 0:
+        parser.error("--breaker-cooldown must be >= 0")
+    if args.hedge_threshold is not None and args.hedge_threshold <= 0:
+        parser.error("--hedge-threshold must be > 0")
+    if args.max_unit_attempts < 1:
+        parser.error("--max-unit-attempts must be >= 1")
+    if args.capacity is not None and args.capacity < 1:
+        parser.error("--capacity must be >= 1")
+    if args.max_pool_restarts is not None and args.max_pool_restarts < 0:
+        parser.error("--max-pool-restarts must be >= 0")
+    if args.slow_threshold is not None and args.slow_threshold <= 0:
+        parser.error("--slow-threshold must be > 0")
+    if args.slow_threshold is not None and not args.recorder_dir:
+        parser.error("--slow-threshold requires --recorder-dir")
+    if args.max_worker_restarts < 0:
+        parser.error("--max-worker-restarts must be >= 0")
+    if args.supervisor_interval <= 0:
+        parser.error("--supervisor-interval must be > 0")
+    fault_plans: dict[int, str] = {}
+    if args.faults:
+        try:
+            fault_plans = _parse_fleet_faults(args.faults, args.n_workers)
+        except ServiceError as exc:
+            parser.error(str(exc))
     if args.cache_dir:
         try:
             os.makedirs(args.cache_dir, exist_ok=True)
@@ -372,89 +448,173 @@ def _cmd_fleet(args, parser) -> int:
                 f"cannot create --recorder-dir {args.recorder_dir}: {exc}"
             )
 
-    catalog = WorkerCatalog(max_consecutive_failures=args.max_worker_failures)
-    procs: list = []
+    catalog = WorkerCatalog(
+        max_consecutive_failures=args.max_worker_failures,
+        breaker_cooldown_s=args.breaker_cooldown,
+    )
+
+    def worker_spawn_kwargs(index: int) -> dict:
+        return dict(
+            n_jobs=args.worker_n_jobs,
+            max_entries=args.max_entries,
+            cache=(
+                os.path.join(args.cache_dir, f"worker{index}.jsonl")
+                if args.cache_dir else None
+            ),
+            capacity=args.capacity,
+            max_pool_restarts=args.max_pool_restarts,
+            slow_threshold=args.slow_threshold,
+            recorder=(
+                os.path.join(args.recorder_dir, f"w{index}.jsonl")
+                if args.recorder_dir else None
+            ),
+        )
+
+    procs: dict[int, subprocess.Popen] = {}
+    respawn_seq: dict[int, int] = {}
     server = None
+    supervisor = None
     exit_code = 0
-    try:
-        with tempfile.TemporaryDirectory(prefix="repro-fleet-") as tmp:
+    # The temp dir holds the ready-file handshakes — including the ones
+    # respawned workers publish mid-flight — so it lives as long as the
+    # fleet does.
+    with tempfile.TemporaryDirectory(prefix="repro-fleet-") as tmp:
+        try:
             for index in range(args.n_workers):
                 ready = os.path.join(tmp, f"worker{index}.json")
-                cache = (
-                    os.path.join(args.cache_dir, f"worker{index}.jsonl")
-                    if args.cache_dir else None
-                )
-                worker_recorder = (
-                    os.path.join(args.recorder_dir, f"w{index}.jsonl")
-                    if args.recorder_dir else None
-                )
-                procs.append((
-                    spawn_worker(
-                        ready,
-                        n_jobs=args.worker_n_jobs,
-                        max_entries=args.max_entries,
-                        cache=cache,
-                        recorder=worker_recorder,
-                    ),
+                procs[index] = spawn_worker(
                     ready,
-                ))
+                    faults=fault_plans.get(index),
+                    **worker_spawn_kwargs(index),
+                )
             try:
-                for index, (proc, ready) in enumerate(procs):
+                for index in range(args.n_workers):
+                    ready = os.path.join(tmp, f"worker{index}.json")
                     worker_host, worker_port = wait_for_ready_file(
                         ready,
                         timeout=args.startup_timeout,
-                        process=proc,
+                        process=procs[index],
                     )
-                    catalog.register(worker_host, worker_port, name=f"w{index}")
+                    catalog.register(
+                        worker_host, worker_port,
+                        name=f"w{index}", capacity=args.capacity,
+                    )
             except ServiceError as exc:
                 print(f"fleet startup failed: {exc}", file=sys.stderr)
                 return 1
-        try:
-            server = OrchestratorServer(
-                catalog,
-                strategy=args.strategy,
-                host=args.host,
-                port=args.port,
-                retry=RetryPolicy(),
-                ping_interval=args.ping_interval,
-                recorder=recorder,
-            )
-        except OSError as exc:
-            print(
-                f"cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr
-            )
-            return 1
-        host, port = server.endpoint
-        if args.ready_file:
-            server.write_ready_file(args.ready_file)
-        print(f"serving    : {host}:{port} (orchestrator)")
-        print(f"strategy   : {args.strategy}")
-        print("workers    : " + ", ".join(
-            f"{w.name}={w.endpoint}" for w in catalog.workers()
-        ))
-        if args.recorder_dir:
-            print(f"recorders  : {args.recorder_dir}")
-        sys.stdout.flush()
-        try:
-            server.serve_forever()
-        except KeyboardInterrupt:  # pragma: no cover - interactive only
-            pass
-    finally:
-        if server is not None:
-            server.server_close()
-            server.wait_for_inflight(timeout=600.0)
-            # The fleet owns its workers: ask each daemon to stop, then
-            # reap the subprocesses (hard-kill only the unresponsive).
-            server.stop_workers()
-        if recorder is not None:
-            recorder.close()
-        for proc, _ in procs:
             try:
-                proc.wait(timeout=10.0)
-            except subprocess.TimeoutExpired:
-                proc.kill()
-                proc.wait(timeout=10.0)
-                exit_code = 1
+                server = OrchestratorServer(
+                    catalog,
+                    strategy=args.strategy,
+                    host=args.host,
+                    port=args.port,
+                    retry=RetryPolicy(),
+                    ping_interval=args.ping_interval,
+                    hedge=not args.no_hedge,
+                    hedge_threshold=args.hedge_threshold,
+                    max_unit_attempts=args.max_unit_attempts,
+                    recorder=recorder,
+                )
+            except OSError as exc:
+                print(
+                    f"cannot bind {args.host}:{args.port}: {exc}",
+                    file=sys.stderr,
+                )
+                return 1
+            if args.supervise:
+                def make_respawn(index: int):
+                    def respawn() -> tuple[str, int]:
+                        old = procs.get(index)
+                        if old is not None and old.poll() is not None:
+                            old.wait()  # reap the corpse
+                        info = catalog.get(f"w{index}")
+                        respawn_seq[index] = respawn_seq.get(index, 0) + 1
+                        ready = os.path.join(
+                            tmp,
+                            f"worker{index}.respawn{respawn_seq[index]}.json",
+                        )
+                        # Prefer the registered port so the worker's
+                        # rendezvous shard flows straight back; fall back
+                        # to an ephemeral port if it is still held.
+                        proc = spawn_worker(
+                            ready, port=info.port, **worker_spawn_kwargs(index)
+                        )
+                        try:
+                            endpoint = wait_for_ready_file(
+                                ready,
+                                timeout=args.startup_timeout,
+                                process=proc,
+                            )
+                        except ServiceError:
+                            if proc.poll() is None:
+                                proc.kill()
+                            proc.wait()
+                            ready = ready + ".ephemeral"
+                            proc = spawn_worker(
+                                ready, port=0, **worker_spawn_kwargs(index)
+                            )
+                            endpoint = wait_for_ready_file(
+                                ready,
+                                timeout=args.startup_timeout,
+                                process=proc,
+                            )
+                        procs[index] = proc
+                        return endpoint
+
+                    return respawn
+
+                supervisor = FleetSupervisor(
+                    catalog,
+                    check_interval=args.supervisor_interval,
+                    max_restarts=args.max_worker_restarts,
+                )
+                for index in range(args.n_workers):
+                    supervisor.watch(
+                        f"w{index}",
+                        is_alive=lambda i=index: procs[i].poll() is None,
+                        respawn=make_respawn(index),
+                    )
+                server.supervisor = supervisor
+                supervisor.start()
+            host, port = server.endpoint
+            if args.ready_file:
+                server.write_ready_file(args.ready_file)
+            print(f"serving    : {host}:{port} (orchestrator)")
+            print(f"strategy   : {args.strategy}")
+            print("workers    : " + ", ".join(
+                f"{w.name}={w.endpoint}" for w in catalog.workers()
+            ))
+            if args.supervise:
+                print(
+                    f"supervisor : every {args.supervisor_interval}s, "
+                    f"budget {args.max_worker_restarts} restarts/worker"
+                )
+            if args.recorder_dir:
+                print(f"recorders  : {args.recorder_dir}")
+            sys.stdout.flush()
+            try:
+                server.serve_forever()
+            except KeyboardInterrupt:  # pragma: no cover - interactive only
+                pass
+        finally:
+            if supervisor is not None:
+                supervisor.stop()
+            if server is not None:
+                server.server_close()
+                server.wait_for_inflight(timeout=600.0)
+                # The fleet owns its workers: ask each daemon to stop,
+                # then reap the subprocesses (hard-kill only the
+                # unresponsive).
+                server.stop_workers()
+            if recorder is not None:
+                recorder.close()
+            for proc in procs.values():
+                try:
+                    proc.wait(timeout=10.0)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait(timeout=10.0)
+                    exit_code = 1
     print("stopped")
     return exit_code
 
@@ -554,8 +714,21 @@ def _render_fleet_stats(stats: dict) -> None:
         f"orchestrator: strategy={stats.get('strategy')}, "
         f"{orch.get('requests', 0)} requests, {orch.get('batches', 0)} "
         f"batches, {orch.get('units', 0)} units, "
-        f"{orch.get('failovers', 0)} failovers"
+        f"{orch.get('failovers', 0)} failovers, "
+        f"{orch.get('hedges_sent', 0)} hedges sent "
+        f"({orch.get('hedges_won', 0)} won), "
+        f"{orch.get('quarantined', 0)} quarantined"
     )
+    supervisor = stats.get("supervisor")
+    if supervisor:
+        abandoned = sum(
+            1 for w in supervisor.get("workers") or [] if w.get("abandoned")
+        )
+        print(
+            f"supervisor  : {supervisor.get('respawns', 0)} respawns "
+            f"(budget {supervisor.get('max_restarts', 0)}/worker, "
+            f"{abandoned} abandoned)"
+        )
     print(
         f"fleet totals: {totals.get('units', 0)} units, "
         f"{totals.get('executed', 0)} executed, "
@@ -570,8 +743,8 @@ def _render_fleet_stats(stats: dict) -> None:
         f"{cache.get('evictions', 0)} evictions)"
     )
     print(
-        f"{'worker':8s} {'endpoint':22s} {'live':5s} {'inflt':>5s} "
-        f"{'routed':>6s} {'failov':>6s} {'evict':>5s} {'units':>8s} "
+        f"{'worker':8s} {'endpoint':22s} {'breaker':9s} {'inflt':>5s} "
+        f"{'routed':>6s} {'failov':>6s} {'trips':>5s} {'units':>8s} "
         f"{'executed':>8s}"
     )
     for row in stats.get("workers") or []:
@@ -579,9 +752,12 @@ def _render_fleet_stats(stats: dict) -> None:
         requests = reported.get("requests") or {}
         units = requests.get("units", "-")
         executed = requests.get("executed", "-")
+        breaker = (row.get("breaker") or {}).get("state") or (
+            "closed" if row.get("live") else "open"
+        )
         print(
             f"{row.get('name', '?'):8s} {row.get('endpoint', '?'):22s} "
-            f"{'yes' if row.get('live') else 'NO':5s} "
+            f"{breaker:9s} "
             f"{row.get('in_flight', 0):>5d} {row.get('routed', 0):>6d} "
             f"{row.get('failovers', 0):>6d} {row.get('evictions', 0):>5d} "
             f"{units!s:>8s} {executed!s:>8s}"
@@ -699,12 +875,21 @@ def _render_top(stats: dict, metrics: dict, prof: dict, *, top_k: int) -> None:
         totals = stats.get("totals") or {}
         cache = stats.get("structure_cache") or {}
         hit_rate = cache.get("hit_rate", 0.0)
+        orch = stats.get("orchestrator") or {}
+        supervisor = stats.get("supervisor") or {}
         print(
             f"fleet: {totals.get('units', 0)} units, "
             f"{totals.get('executed', 0)} executed, "
             f"{totals.get('disk_hits', 0)} disk hits, "
             f"{totals.get('memo_hits', 0)} memo hits, "
             f"{totals.get('failures', 0)} failures"
+        )
+        print(
+            f"health: {orch.get('failovers', 0)} failovers, "
+            f"{orch.get('hedges_sent', 0)} hedges sent "
+            f"({orch.get('hedges_won', 0)} won), "
+            f"{orch.get('quarantined', 0)} quarantined, "
+            f"{supervisor.get('respawns', 0)} respawns"
         )
         print(
             f"cache: hit rate {hit_rate:.1%} ({cache.get('hits', 0)} hits / "
@@ -714,15 +899,18 @@ def _render_top(stats: dict, metrics: dict, prof: dict, *, top_k: int) -> None:
         rows = stats.get("workers") or []
         if rows:
             print(
-                f"{'worker':8s} {'live':5s} {'inflt':>5s} {'routed':>6s} "
+                f"{'worker':8s} {'breaker':9s} {'inflt':>5s} {'routed':>6s} "
                 f"{'failov':>6s} {'units':>8s} {'executed':>8s}"
             )
         for row in rows:
             reported = row.get("reported") or {}
             requests = reported.get("requests") or {}
+            breaker = (row.get("breaker") or {}).get("state") or (
+                "closed" if row.get("live") else "open"
+            )
             print(
                 f"{row.get('name', '?'):8s} "
-                f"{'yes' if row.get('live') else 'NO':5s} "
+                f"{breaker:9s} "
                 f"{row.get('in_flight', 0):>5d} {row.get('routed', 0):>6d} "
                 f"{row.get('failovers', 0):>6d} "
                 f"{requests.get('units', '-')!s:>8s} "
@@ -1417,8 +1605,43 @@ def main(argv: list[str] | None = None) -> int:
             "--max-worker-failures",
             dict(
                 type=int, default=3, metavar="N",
-                help="consecutive failures before a worker is evicted "
+                help="consecutive failures before a worker's circuit "
+                "breaker trips (default: %(default)s)",
+            ),
+        ),
+        (
+            "--breaker-cooldown",
+            dict(
+                type=float, default=5.0, metavar="SECONDS",
+                help="cooldown before a tripped worker gets its single "
+                "half-open probe; doubles per consecutive trip "
                 "(default: %(default)s)",
+            ),
+        ),
+        (
+            "--hedge-threshold",
+            dict(
+                type=float, default=None, metavar="SECONDS",
+                help="fixed latency past which a pending sub-batch is "
+                "speculatively re-dispatched to the next-ranked live "
+                "worker, first reply winning (default: derived from the "
+                "shard-latency histogram's p95)",
+            ),
+        ),
+        (
+            "--no-hedge",
+            dict(
+                action="store_true",
+                help="disable hedged dispatch entirely",
+            ),
+        ),
+        (
+            "--max-unit-attempts",
+            dict(
+                type=int, default=3, metavar="N",
+                help="distinct workers a unit may fail on before it is "
+                "quarantined as a structured failure instead of being "
+                "re-dispatched forever (default: %(default)s)",
             ),
         ),
     ]
@@ -1434,6 +1657,23 @@ def main(argv: list[str] | None = None) -> int:
         "fleet",
         help="spawn N worker daemons plus an orchestrator fronting them "
         "(one endpoint, runs until shutdown)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "flag routing — per-worker vs orchestrator:\n"
+            "  worker-level (applied to every spawned 'serve' daemon):\n"
+            "    --worker-n-jobs, --max-entries, --cache-dir, --capacity,\n"
+            "    --max-pool-restarts, --slow-threshold, --faults\n"
+            "  orchestrator-level (routing, liveness and repair policy):\n"
+            "    --strategy, --ping-interval, --max-worker-failures,\n"
+            "    --breaker-cooldown, --hedge-threshold, --no-hedge,\n"
+            "    --max-unit-attempts, --supervise, --max-worker-restarts,\n"
+            "    --supervisor-interval\n"
+            "  --faults takes one spec for every worker ('drop:1') or\n"
+            "  per-index clauses ('0=crash:1;2=hang:1:5'); --supervise\n"
+            "  respawns dead workers on their registered ports (bounded\n"
+            "  budget, exponential backoff) and re-announces them for a\n"
+            "  half-open breaker probe."
+        ),
     )
     fleetp.add_argument(
         "--n-workers", type=int, default=2,
@@ -1476,6 +1716,44 @@ def main(argv: list[str] | None = None) -> int:
         "--startup-timeout", type=float, default=30.0,
         help="seconds to wait for each worker's ready file "
         "(default: %(default)s)",
+    )
+    fleetp.add_argument(
+        "--capacity", type=int, default=None,
+        help="per-worker admission bound: max concurrently dispatched "
+        "work requests on each spawned daemon (default: unbounded)",
+    )
+    fleetp.add_argument(
+        "--max-pool-restarts", type=int, default=None,
+        help="per-worker pool rebuilds after crashes before that worker "
+        "degrades to serial evaluation (default: the daemon's own "
+        "default)",
+    )
+    fleetp.add_argument(
+        "--slow-threshold", type=float, default=None, metavar="SECONDS",
+        help="per-worker slow-request mark for the flight recorders "
+        "(requires --recorder-dir; default: off)",
+    )
+    fleetp.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="fault injection on the spawned workers: one spec for all "
+        "('drop:1') or per-index clauses ('0=crash:1;2=hang:1:5'; "
+        "chaos testing; default: none)",
+    )
+    fleetp.add_argument(
+        "--supervise", action="store_true",
+        help="watch the spawned workers and respawn dead ones on their "
+        "registered endpoints (bounded restart budget, exponential "
+        "backoff), re-announcing them to the catalog for a half-open "
+        "breaker probe (default: off)",
+    )
+    fleetp.add_argument(
+        "--max-worker-restarts", type=int, default=3, metavar="N",
+        help="respawns each supervised worker may consume before it is "
+        "abandoned (default: %(default)s)",
+    )
+    fleetp.add_argument(
+        "--supervisor-interval", type=float, default=1.0, metavar="SECONDS",
+        help="supervisor health-check cadence (default: %(default)s)",
     )
 
     pingp = sub.add_parser(

@@ -27,13 +27,18 @@ over a loopback socket:
   --via-service``;
 * :mod:`repro.service.catalog` / :mod:`repro.service.routing` /
   :mod:`repro.service.orchestrator` / :mod:`repro.service.fleet` — the
-  fleet tier: a worker registry with liveness eviction, a routing
-  strategy registry (``round_robin`` / ``worst_fit`` /
-  ``fingerprint_affinity`` rendezvous hashing), and an orchestrator
-  speaking the *same* protocol that shards batches across workers,
-  fails over when one dies mid-request, and aggregates fleet
-  statistics — behind ``repro.cli serve --role orchestrator`` and
-  ``repro.cli fleet``.
+  fleet tier: a worker registry with per-worker circuit breakers
+  (closed → open → half-open, escalating cooldowns, probation after
+  recovery), a routing strategy registry (``round_robin`` /
+  ``worst_fit`` / ``fingerprint_affinity`` rendezvous hashing), an
+  orchestrator speaking the *same* protocol that shards batches across
+  workers, fails over when one dies mid-request, hedges straggling
+  shards onto the next-ranked candidate, quarantines poison units
+  after they fail on distinct workers, and aggregates fleet
+  statistics, plus a :class:`FleetSupervisor` that respawns dead
+  worker processes (bounded budget, exponential backoff) and
+  re-announces them for a half-open probe — behind ``repro.cli serve
+  --role orchestrator`` and ``repro.cli fleet --supervise``.
 
 Observability (see :mod:`repro.telemetry`): every frame may carry a
 ``request_id`` trace token (minted by :class:`ServiceClient`, forwarded
@@ -49,6 +54,7 @@ from repro.service.client import RetryPolicy, ServiceClient, wait_for_service
 from repro.service.diskcache import DiskScoreCache, score_digest
 from repro.service.faults import FaultInjector
 from repro.service.fleet import (
+    FleetSupervisor,
     LocalFleet,
     local_fleet,
     spawn_worker,
@@ -82,6 +88,7 @@ __all__ = [
     "DiskScoreCache",
     "EvaluationEngine",
     "FaultInjector",
+    "FleetSupervisor",
     "LocalFleet",
     "OrchestratorServer",
     "RetryPolicy",

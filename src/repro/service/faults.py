@@ -21,7 +21,16 @@ Supported kinds and their hook points:
   evaluator pass, forcing the ``BrokenProcessPool`` recovery path;
 * ``torn_tail`` — the tier-2 disk cache's JSONL file loses the second
   half of its final record (exactly what a kill mid-``write`` leaves
-  behind), which the next load must drop and repair.
+  behind), which the next load must drop and repair;
+* ``hang`` — the server handler stalls ``hang_s`` seconds *before*
+  doing any work, the way a wedged worker stalls a whole sub-batch:
+  clients hit their deadline, and the orchestrator's hedged dispatch
+  must rescue the shard on another candidate;
+* ``flap`` — the server handler alternates between severing the
+  connection pre-work and serving normally (``flap:2`` fails requests
+  1 and 3, serves 2 and 4), the pathology circuit breakers exist for:
+  a plain evict/revive catalog would feed a flapping worker one real
+  request per recovery.
 
 Injectors come from three places: constructed directly in tests, parsed
 from a spec string (``"drop:2,crash:1,delay:1:0.5"``), or read from the
@@ -37,13 +46,20 @@ import time
 from repro.exceptions import ServiceError
 
 #: Every fault kind an injector understands.
-FAULT_KINDS = ("drop", "delay", "crash", "torn_tail")
+FAULT_KINDS = ("drop", "delay", "crash", "torn_tail", "hang", "flap")
 
 #: Environment variable ``repro.cli serve`` reads a fault spec from.
 FAULTS_ENV = "REPRO_FAULTS"
 
 #: Default sleep of a ``delay`` fault (seconds).
 DEFAULT_DELAY_S = 0.25
+
+#: Default stall of a ``hang`` fault (seconds) — long enough that any
+#: armed client deadline or hedge threshold fires first.
+DEFAULT_HANG_S = 30.0
+
+#: Spec clauses that accept a trailing ``:SECONDS`` field.
+_TIMED_KINDS = ("delay", "hang")
 
 
 def _exit_worker() -> None:  # pragma: no cover - runs in a worker process
@@ -65,11 +81,15 @@ class FaultInjector:
         plan: dict[str, int] | None = None,
         *,
         delay_s: float = DEFAULT_DELAY_S,
+        hang_s: float = DEFAULT_HANG_S,
     ) -> None:
         self._lock = threading.Lock()
         self._armed: dict[str, int] = {}
         self.fired: dict[str, int] = dict.fromkeys(FAULT_KINDS, 0)
         self.delay_s = float(delay_s)
+        self.hang_s = float(hang_s)
+        #: ``flap`` alternator: the next armed flap fires only when True.
+        self._flap_fail_next = True
         for kind, count in (plan or {}).items():
             self.arm(kind, count)
 
@@ -111,6 +131,36 @@ class FaultInjector:
             return False
         time.sleep(self.delay_s)
         return True
+
+    def hang_if_armed(self) -> bool:
+        """``hang`` hook: stall *before* the work starts (server handler).
+
+        The admission slot stays held for the whole stall, exactly like a
+        wedged worker at capacity; the request still completes afterwards
+        so a hedged duplicate can win the race and discard this reply.
+        """
+        if not self.take("hang"):
+            return False
+        time.sleep(self.hang_s)
+        return True
+
+    def flap_now(self) -> bool:
+        """``flap`` hook: should this work request be severed pre-work?
+
+        Alternates fail/serve while the ``flap`` budget lasts, consuming
+        one firing per severed request — the canonical flapping worker
+        that a plain evict/revive liveness model keeps feeding traffic.
+        """
+        with self._lock:
+            if self._armed.get("flap", 0) <= 0:
+                return False
+            if not self._flap_fail_next:
+                self._flap_fail_next = True
+                return False
+            self._armed["flap"] -= 1
+            self.fired["flap"] += 1
+            self._flap_fail_next = False
+            return True
 
     def kill_pool_worker(self, pool) -> None:
         """``crash`` hook body: abruptly kill one worker of ``pool``.
@@ -167,10 +217,17 @@ class FaultInjector:
 
     @classmethod
     def from_spec(cls, spec: str) -> "FaultInjector":
-        """Parse ``"kind:count[,kind:count[:delay_s]...]"`` into an injector.
+        """Parse ``"kind:count[,kind:count[:seconds]...]"`` into an injector.
 
         Examples: ``"drop:2"``, ``"crash:1,torn_tail:1"``,
-        ``"delay:3:0.5"`` (three delayed replies of 0.5 s each).
+        ``"delay:3:0.5"`` (three delayed replies of 0.5 s each),
+        ``"hang:1:5"`` (one 5 s pre-work stall), ``"flap:2"``.
+
+        Everything is validated here, at parse time: counts must be
+        positive integers and ``delay``/``hang`` seconds non-negative
+        numbers, with errors naming the offending clause — a bad value
+        must fail the ``serve --faults`` invocation, not surface minutes
+        later when the fault finally fires.
         """
         injector = cls()
         for part in spec.split(","):
@@ -180,27 +237,44 @@ class FaultInjector:
             fields = part.split(":")
             if len(fields) not in (2, 3):
                 raise ServiceError(
-                    f"invalid fault spec {part!r}; expected KIND:COUNT "
-                    "or delay:COUNT:SECONDS"
+                    f"invalid fault spec clause {part!r}; expected "
+                    "KIND:COUNT or KIND:COUNT:SECONDS"
                 )
             kind = fields[0].strip()
             try:
                 count = int(fields[1])
             except ValueError:
                 raise ServiceError(
-                    f"invalid fault count in {part!r}"
+                    f"invalid fault count in clause {part!r}: "
+                    f"{fields[1]!r} is not an integer"
                 ) from None
+            if count < 1:
+                raise ServiceError(
+                    f"invalid fault count in clause {part!r}: "
+                    f"count must be a positive integer, got {count}"
+                )
             if len(fields) == 3:
-                if kind != "delay":
+                if kind not in _TIMED_KINDS:
                     raise ServiceError(
-                        f"only 'delay' takes a third field, got {part!r}"
+                        f"only {' and '.join(repr(k) for k in _TIMED_KINDS)} "
+                        f"take a third SECONDS field, got {part!r}"
                     )
                 try:
-                    injector.delay_s = float(fields[2])
+                    seconds = float(fields[2])
                 except ValueError:
                     raise ServiceError(
-                        f"invalid delay seconds in {part!r}"
+                        f"invalid seconds in clause {part!r}: "
+                        f"{fields[2]!r} is not a number"
                     ) from None
+                if not (seconds >= 0.0):  # rejects negatives and NaN
+                    raise ServiceError(
+                        f"invalid seconds in clause {part!r}: "
+                        f"must be non-negative, got {fields[2]}"
+                    )
+                if kind == "delay":
+                    injector.delay_s = seconds
+                else:
+                    injector.hang_s = seconds
             injector.arm(kind, count)
         return injector
 

@@ -15,6 +15,14 @@ Two ways to stand up an orchestrator + N workers:
 
 Ownership is explicit everywhere: whoever spawned a worker stops it;
 an orchestrator pointed at externally managed daemons never does.
+
+On top of both sits :class:`FleetSupervisor`: the detect-and-repair
+loop that turns a fleet's one-shot failover into a steady-state
+property. It health-checks watched workers, respawns dead ones on
+their registered endpoints (bounded restart budget, exponential
+backoff between attempts) and re-announces them to the catalog so
+their rendezvous-hash shards flow back after a single half-open
+probe succeeds.
 """
 
 from __future__ import annotations
@@ -42,7 +50,203 @@ from repro.service.protocol import DEFAULT_HOST
 from repro.service.routing import RoutingStrategy
 from repro.service.server import ServiceServer
 from repro.service.workers import EvaluationEngine
-from repro.telemetry import FlightRecorder
+from repro.telemetry import FlightRecorder, get_logger
+
+log = get_logger("service.fleet")
+
+#: Default restart budget per supervised worker.
+DEFAULT_MAX_RESTARTS = 3
+
+#: Default supervisor health-check cadence (seconds).
+DEFAULT_CHECK_INTERVAL_S = 0.5
+
+#: Default base backoff before a respawn attempt (seconds).
+DEFAULT_RESTART_BACKOFF_S = 0.25
+
+#: Default backoff multiplier per consecutive restart of one worker.
+DEFAULT_RESTART_BACKOFF_MULTIPLIER = 2.0
+
+#: Ceiling on the per-worker restart backoff (seconds).
+DEFAULT_RESTART_BACKOFF_MAX_S = 5.0
+
+
+@dataclasses.dataclass
+class _WatchedWorker:
+    """Supervisor-side record of one worker under watch."""
+
+    name: str
+    is_alive: "object"  # Callable[[], bool]
+    respawn: "object"  # Callable[[], tuple[str, int]]
+    restarts: int = 0
+    failed_respawns: int = 0
+    abandoned: bool = False
+    #: Monotonic instant before which no respawn attempt may run.
+    next_attempt_at: float = 0.0
+
+    def stats(self) -> dict:
+        return {
+            "name": self.name,
+            "restarts": self.restarts,
+            "failed_respawns": self.failed_respawns,
+            "abandoned": self.abandoned,
+        }
+
+
+class FleetSupervisor:
+    """Detect-and-repair loop over a fleet's worker processes.
+
+    Each watched worker brings two callables: ``is_alive`` (a cheap
+    process-level liveness check — *not* a network probe; the breaker
+    owns request-level health) and ``respawn`` (rebuild the dead worker,
+    returning the ``(host, port)`` it now serves on — ideally its
+    registered endpoint, so affinity keys flow straight back).
+
+    On every :meth:`check_once` pass a dead worker is respawned if its
+    backoff window elapsed and its restart budget (``max_restarts``)
+    isn't exhausted; the backoff escalates per consecutive restart of
+    the same worker. After a successful respawn the worker is
+    **re-announced** to the catalog (:meth:`WorkerCatalog.reannounce`),
+    which arms its breaker for an immediate half-open probe — one trial
+    request decides whether the replacement actually serves, and a
+    success closes the breaker and returns the worker's shard to it.
+
+    ``start()`` runs the loop on a daemon thread; tests drive
+    :meth:`check_once` directly for determinism.
+    """
+
+    def __init__(
+        self,
+        catalog: WorkerCatalog,
+        *,
+        check_interval: float = DEFAULT_CHECK_INTERVAL_S,
+        max_restarts: int = DEFAULT_MAX_RESTARTS,
+        backoff_base: float = DEFAULT_RESTART_BACKOFF_S,
+        backoff_multiplier: float = DEFAULT_RESTART_BACKOFF_MULTIPLIER,
+        backoff_max: float = DEFAULT_RESTART_BACKOFF_MAX_S,
+        clock=time.monotonic,
+    ) -> None:
+        if check_interval <= 0:
+            raise ServiceError(
+                f"check_interval must be > 0, got {check_interval}"
+            )
+        if max_restarts < 0:
+            raise ServiceError(
+                f"max_restarts must be >= 0, got {max_restarts}"
+            )
+        self.catalog = catalog
+        self.check_interval = check_interval
+        self.max_restarts = max_restarts
+        self.backoff_base = backoff_base
+        self.backoff_multiplier = backoff_multiplier
+        self.backoff_max = backoff_max
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._watched: dict[str, _WatchedWorker] = {}
+        self._respawns = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def watch(self, name: str, *, is_alive, respawn) -> None:
+        """Put ``name`` under supervision (replaces any prior watch)."""
+        with self._lock:
+            self._watched[name] = _WatchedWorker(
+                name=name, is_alive=is_alive, respawn=respawn
+            )
+
+    def _backoff(self, restarts: int) -> float:
+        """Backoff before the ``restarts``-th consecutive respawn."""
+        return min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_multiplier ** max(0, restarts - 1),
+        )
+
+    def check_once(self) -> list[str]:
+        """One supervision pass; returns the workers respawned by it."""
+        with self._lock:
+            watched = list(self._watched.values())
+        respawned: list[str] = []
+        for worker in watched:
+            if worker.abandoned:
+                continue
+            try:
+                alive = bool(worker.is_alive())
+            except Exception:
+                alive = False
+            if alive:
+                continue
+            now = self.clock()
+            if now < worker.next_attempt_at:
+                continue
+            if worker.restarts >= self.max_restarts:
+                worker.abandoned = True
+                log.error(
+                    "worker %s exhausted its restart budget (%d); abandoning",
+                    worker.name, self.max_restarts,
+                )
+                continue
+            worker.restarts += 1
+            worker.next_attempt_at = now + self._backoff(worker.restarts)
+            try:
+                host, port = worker.respawn()
+            except Exception as exc:
+                worker.failed_respawns += 1
+                log.warning(
+                    "respawn of worker %s failed (%s: %s); retrying after "
+                    "backoff", worker.name, type(exc).__name__, exc,
+                )
+                continue
+            with self._lock:
+                self._respawns += 1
+            try:
+                self.catalog.reannounce(worker.name, host, port)
+            except ServiceError as exc:
+                log.warning(
+                    "re-announce of worker %s failed: %s", worker.name, exc
+                )
+            log.info(
+                "respawned worker %s on %s:%d (restart %d/%d)",
+                worker.name, host, port, worker.restarts, self.max_restarts,
+            )
+            respawned.append(worker.name)
+        return respawned
+
+    def start(self) -> None:
+        """Run the supervision loop on a daemon thread."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._thread.start()
+
+    def _loop(self) -> None:  # pragma: no cover - timing-dependent
+        while not self._stop.wait(self.check_interval):
+            try:
+                self.check_once()
+            except Exception:
+                log.exception("supervisor pass failed")
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+            self._thread = None
+
+    @property
+    def respawns(self) -> int:
+        with self._lock:
+            return self._respawns
+
+    def stats(self) -> dict:
+        """The ``supervisor`` block of the orchestrator's ``stats`` reply."""
+        with self._lock:
+            return {
+                "respawns": self._respawns,
+                "max_restarts": self.max_restarts,
+                "check_interval_s": self.check_interval,
+                "running": self._thread is not None,
+                "workers": [w.stats() for w in self._watched.values()],
+            }
 
 
 class _KillableServiceServer(ServiceServer):
@@ -109,12 +313,17 @@ class LocalFleet:
         orchestrator: OrchestratorServer,
         orchestrator_thread: threading.Thread,
         workers: list[FleetWorker],
+        *,
+        worker_config: dict | None = None,
     ) -> None:
         self.catalog = catalog
         self.orchestrator = orchestrator
         self._orchestrator_thread = orchestrator_thread
         self.workers = workers
         self._stopped: set[str] = set()
+        #: Engine/server kwargs respawned workers are rebuilt with.
+        self._worker_config = dict(worker_config or {})
+        self.supervisor: FleetSupervisor | None = None
 
     @property
     def endpoint(self) -> tuple[str, int]:
@@ -143,31 +352,125 @@ class LocalFleet:
         worker = self.worker(name)
         if name in self._stopped:
             return
+        # Capture the doomed server/engine/thread *before* marking the
+        # worker stopped: a running supervisor treats membership in the
+        # stopped set as "dead" and may respawn into this slot at any
+        # moment after the add() — tearing down through the slot would
+        # then sever the fresh replacement instead of the corpse.
+        server, engine, thread = worker.server, worker.engine, worker.thread
+        server.shutdown()
+        server.server_close()
+        server.kill_connections()
+        engine.close()
+        if server.recorder is not None:
+            server.recorder.close()
         self._stopped.add(name)
-        worker.server.shutdown()
-        worker.server.server_close()
-        worker.server.kill_connections()
-        worker.engine.close()
-        if worker.server.recorder is not None:
-            worker.server.recorder.close()
-        worker.thread.join(timeout=5.0)
+        thread.join(timeout=5.0)
 
     def stop_worker(self, name: str) -> None:
         """Graceful single-worker stop (drain, then engine teardown)."""
         worker = self.worker(name)
         if name in self._stopped:
             return
+        server, engine, thread = worker.server, worker.engine, worker.thread
+        server.shutdown()
+        server.server_close()
+        server.wait_for_inflight(timeout=10.0)
+        engine.close()
+        if server.recorder is not None:
+            server.recorder.close()
         self._stopped.add(name)
-        worker.server.shutdown()
-        worker.server.server_close()
-        worker.server.wait_for_inflight(timeout=10.0)
-        worker.engine.close()
-        if worker.server.recorder is not None:
-            worker.server.recorder.close()
-        worker.thread.join(timeout=5.0)
+        thread.join(timeout=5.0)
+
+    def respawn_worker(
+        self, name: str, *, faults: str | None = None
+    ) -> FleetWorker:
+        """Rebuild a killed worker on its registered endpoint.
+
+        A fresh engine and server replace the dead ones inside the same
+        :class:`FleetWorker` slot — same name, and the same port when
+        the OS lets us rebind it (falling back to an ephemeral port
+        otherwise). The fresh process carries **no** fault budget unless
+        ``faults`` arms a new one: the injected faults died with the
+        process they were injected into. The catalog is *not* told
+        here — re-announcement is the supervisor's job, so respawn and
+        breaker policy stay separable.
+        """
+        worker = self.worker(name)
+        if name not in self._stopped:
+            raise ServiceError(f"worker {name!r} is still running")
+        info = self.catalog.get(name)
+        config = self._worker_config
+        engine = EvaluationEngine(
+            n_jobs=config.get("n_jobs", 1),
+            max_entries=config.get("max_entries"),
+        )
+        injector = FaultInjector.from_spec(faults) if faults else None
+        recorder_dir = config.get("recorder_dir")
+        recorder = (
+            FlightRecorder(Path(recorder_dir) / f"{name}.respawn.jsonl")
+            if recorder_dir is not None
+            else None
+        )
+        try:
+            server = _KillableServiceServer(
+                engine,
+                host=info.host,
+                port=info.port,
+                capacity=config.get("capacity"),
+                faults=injector,
+                recorder=recorder,
+            )
+        except OSError:
+            # The registered port is still held (TIME_WAIT straggler or
+            # another process grabbed it): fall back to an ephemeral one
+            # — reannounce() will carry the new endpoint to the catalog.
+            server = _KillableServiceServer(
+                engine,
+                host=info.host,
+                port=0,
+                capacity=config.get("capacity"),
+                faults=injector,
+                recorder=recorder,
+            )
+        thread = threading.Thread(
+            target=lambda srv=server: srv.serve_forever(poll_interval=0.02),
+            daemon=True,
+        )
+        thread.start()
+        worker.engine = engine
+        worker.server = server
+        worker.thread = thread
+        self._stopped.discard(name)
+        return worker
+
+    def make_supervisor(self, **kwargs) -> FleetSupervisor:
+        """A :class:`FleetSupervisor` watching every in-process worker.
+
+        Liveness is membership in the not-stopped set; respawn rebuilds
+        the worker in this process via :meth:`respawn_worker`. The
+        supervisor is attached to the orchestrator (its ``stats`` reply
+        grows a ``supervisor`` block) and stopped by :meth:`close`; the
+        caller still decides whether to ``start()`` the loop or drive
+        ``check_once()`` by hand.
+        """
+        supervisor = FleetSupervisor(self.catalog, **kwargs)
+        for worker in self.workers:
+            supervisor.watch(
+                worker.name,
+                is_alive=lambda n=worker.name: n not in self._stopped,
+                respawn=lambda n=worker.name: (
+                    self.respawn_worker(n).endpoint
+                ),
+            )
+        self.supervisor = supervisor
+        self.orchestrator.supervisor = supervisor
+        return supervisor
 
     def close(self) -> None:
-        """Stop the orchestrator first, then every remaining worker."""
+        """Stop the supervisor, then the orchestrator, then the workers."""
+        if self.supervisor is not None:
+            self.supervisor.stop()
         self.orchestrator.shutdown()
         self.orchestrator.server_close()
         self.orchestrator.wait_for_inflight(timeout=30.0)
@@ -192,6 +495,10 @@ def local_fleet(
     ping_interval: float | None = None,
     faults: dict[int, str] | None = None,
     recorder_dir: str | os.PathLike | None = None,
+    breaker_cooldown_s: float | None = None,
+    hedge: bool = True,
+    hedge_threshold: float | None = None,
+    max_unit_attempts: int | None = None,
 ):
     """An orchestrator fronting ``n_workers`` in-process daemons.
 
@@ -208,7 +515,10 @@ def local_fleet(
     """
     if n_workers < 1:
         raise ServiceError(f"n_workers must be >= 1, got {n_workers}")
-    catalog = WorkerCatalog()
+    catalog_kwargs: dict = {}
+    if breaker_cooldown_s is not None:
+        catalog_kwargs["breaker_cooldown_s"] = breaker_cooldown_s
+    catalog = WorkerCatalog(**catalog_kwargs)
     workers: list[FleetWorker] = []
     fleet: LocalFleet | None = None
     try:
@@ -238,6 +548,9 @@ def local_fleet(
             host, port = server.endpoint
             catalog.register(host, port, name=name, capacity=capacity)
             workers.append(FleetWorker(name, engine, server, thread))
+        orchestrator_kwargs: dict = {}
+        if max_unit_attempts is not None:
+            orchestrator_kwargs["max_unit_attempts"] = max_unit_attempts
         orchestrator, orch_thread = serve_orchestrator_in_thread(
             catalog,
             strategy=strategy,
@@ -245,13 +558,24 @@ def local_fleet(
             request_timeout=request_timeout,
             connect_timeout=connect_timeout,
             ping_interval=ping_interval,
+            hedge=hedge,
+            hedge_threshold=hedge_threshold,
             recorder=(
                 FlightRecorder(Path(recorder_dir) / "orchestrator.jsonl")
                 if recorder_dir is not None
                 else None
             ),
+            **orchestrator_kwargs,
         )
-        fleet = LocalFleet(catalog, orchestrator, orch_thread, workers)
+        fleet = LocalFleet(
+            catalog, orchestrator, orch_thread, workers,
+            worker_config={
+                "n_jobs": n_jobs,
+                "max_entries": max_entries,
+                "capacity": capacity,
+                "recorder_dir": recorder_dir,
+            },
+        )
         yield fleet
     finally:
         if fleet is not None:
@@ -276,6 +600,8 @@ def spawn_worker(
     max_entries: int | None = None,
     cache: str | os.PathLike | None = None,
     capacity: int | None = None,
+    max_pool_restarts: int | None = None,
+    slow_threshold: float | None = None,
     faults: str | None = None,
     recorder: str | os.PathLike | None = None,
     python: str | None = None,
@@ -306,6 +632,10 @@ def spawn_worker(
         argv += ["--cache", str(cache)]
     if capacity is not None:
         argv += ["--capacity", str(capacity)]
+    if max_pool_restarts is not None:
+        argv += ["--max-pool-restarts", str(max_pool_restarts)]
+    if slow_threshold is not None:
+        argv += ["--slow-threshold", str(slow_threshold)]
     if faults:
         argv += ["--faults", faults]
     if recorder is not None:

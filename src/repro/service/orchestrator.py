@@ -47,6 +47,7 @@ import time
 from collections.abc import Callable
 
 from repro._version import __version__
+from repro.evaluate.batch import TaskFailure
 from repro.exceptions import (
     ServiceError,
     ServiceOverloaded,
@@ -85,6 +86,20 @@ _UNSET = object()
 #: candidate (an overloaded worker is *alive* — it is skipped for the
 #: current sweep without a failure mark against its liveness streak).
 _FAILOVER_ERRORS = (ServiceTimeout, ServiceUnavailable)
+
+#: Distinct workers a unit may fail on before it is quarantined.
+DEFAULT_MAX_UNIT_ATTEMPTS = 3
+
+#: Multiplier applied to the shard-latency p95 to derive the hedge
+#: threshold (a hedge should fire on stragglers, not the median).
+DEFAULT_HEDGE_MULTIPLIER = 1.5
+
+#: Shard-latency samples required before the p95 is trusted for hedging.
+DEFAULT_HEDGE_MIN_SAMPLES = 20
+
+#: Floor on the derived hedge threshold (seconds) so a microsecond-fast
+#: fleet doesn't hedge every shard on scheduler jitter.
+DEFAULT_HEDGE_MIN_S = 0.05
 
 
 class _WorkerClientPool:
@@ -296,6 +311,12 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
         stats_timeout: float | None = 5.0,
         ping_interval: float | None = None,
         ping_timeout: float = 2.0,
+        hedge: bool = True,
+        hedge_threshold: float | None = None,
+        hedge_multiplier: float = DEFAULT_HEDGE_MULTIPLIER,
+        hedge_min_samples: int = DEFAULT_HEDGE_MIN_SAMPLES,
+        hedge_min_s: float = DEFAULT_HEDGE_MIN_S,
+        max_unit_attempts: int = DEFAULT_MAX_UNIT_ATTEMPTS,
         recorder: FlightRecorder | None = None,
         metrics: MetricsRegistry | None = None,
         profiler: Profiler | None = None,
@@ -304,6 +325,14 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
         if ping_interval is not None and ping_interval <= 0:
             raise ServiceError(
                 f"ping_interval must be > 0, got {ping_interval}"
+            )
+        if hedge_threshold is not None and hedge_threshold <= 0:
+            raise ServiceError(
+                f"hedge_threshold must be > 0, got {hedge_threshold}"
+            )
+        if max_unit_attempts < 1:
+            raise ServiceError(
+                f"max_unit_attempts must be >= 1, got {max_unit_attempts}"
             )
         self.catalog = catalog
         self.strategy: RoutingStrategy = (
@@ -314,11 +343,28 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
         self.stats_timeout = stats_timeout
         self.ping_interval = ping_interval
         self.ping_timeout = ping_timeout
+        self.hedge = hedge
+        self.hedge_threshold = hedge_threshold
+        self.hedge_multiplier = hedge_multiplier
+        self.hedge_min_samples = hedge_min_samples
+        self.hedge_min_s = hedge_min_s
+        self.max_unit_attempts = max_unit_attempts
+        #: A :class:`~repro.service.fleet.FleetSupervisor` when this
+        #: orchestrator's fleet is supervised (stats_reply surfaces it).
+        self.supervisor = None
         self._pool = _WorkerClientPool(
             timeout=request_timeout, connect_timeout=connect_timeout
         )
         self._rng = random.Random(retry.seed if retry is not None else None)
-        self._counters = {"requests": 0, "batches": 0, "units": 0, "failovers": 0}
+        self._counters = {
+            "requests": 0,
+            "batches": 0,
+            "units": 0,
+            "failovers": 0,
+            "hedges_sent": 0,
+            "hedges_won": 0,
+            "quarantined": 0,
+        }
         self._counters_lock = threading.Lock()
         self._started = time.monotonic()
         self._stopping = False
@@ -352,6 +398,21 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
             "repro_orchestrator_failovers_total", "shards/requests re-dispatched",
             fn=lambda: self._counters["failovers"],
         )
+        m.counter(
+            "repro_orchestrator_hedges_sent_total",
+            "speculative duplicate shard dispatches",
+            fn=lambda: self._counters["hedges_sent"],
+        )
+        m.counter(
+            "repro_orchestrator_hedges_won_total",
+            "shards won by the hedged duplicate",
+            fn=lambda: self._counters["hedges_won"],
+        )
+        m.counter(
+            "repro_orchestrator_quarantined_total",
+            "units quarantined after failing on distinct workers",
+            fn=lambda: self._counters["quarantined"],
+        )
         m.gauge(
             "repro_fleet_workers", "cataloged workers",
             fn=lambda: len(self.catalog),
@@ -376,6 +437,10 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
         )
         self._hist_request = m.histogram(
             "repro_orchestrator_request_seconds", "work-request latency at the orchestrator"
+        )
+        self._hist_shard = m.histogram(
+            "repro_orchestrator_shard_seconds",
+            "per-shard dispatch latency (the hedge threshold's p95 source)",
         )
         super().__init__((host, port), _RequestHandler)
         log.info(
@@ -543,6 +608,8 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
             "failures": 0,
             "shards": 0,
             "failovers": 0,
+            "hedges": 0,
+            "quarantined": 0,
         }
         tele = {"route_s": 0.0, "merge_s": 0.0, "hops": []}
         if n:
@@ -551,7 +618,7 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
             ]
             self._dispatch_shards(
                 indexed, values, failures, agg,
-                excluded=frozenset(), sweeps=0,
+                excluded=frozenset(), sweeps=0, attempts={},
                 request_id=request_id, tele=tele,
             )
         failures.sort(key=lambda f: f.get("index", 0))
@@ -585,6 +652,38 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
             }
         return reply
 
+    def _hedge_after(self) -> float | None:
+        """Seconds before a pending shard earns a hedged duplicate.
+
+        A fixed ``hedge_threshold`` wins when configured; otherwise the
+        threshold derives from the live shard-latency histogram — the
+        p95 times ``hedge_multiplier``, floored at ``hedge_min_s`` —
+        once enough samples landed to make the tail meaningful. Until
+        then (and whenever hedging is disabled) returns ``None``.
+        """
+        if not self.hedge:
+            return None
+        if self.hedge_threshold is not None:
+            return self.hedge_threshold
+        snap = self._hist_shard.snapshot()
+        if snap.get("count", 0) < self.hedge_min_samples:
+            return None
+        p95 = snap.get("p95")
+        if not isinstance(p95, (int, float)) or p95 <= 0:
+            return None
+        return max(self.hedge_min_s, float(p95) * self.hedge_multiplier)
+
+    def _pick_hedge_candidate(
+        self, key: str, exclude: set[str]
+    ) -> WorkerInfo | None:
+        """The next-ranked live candidate for ``key`` outside ``exclude``."""
+        workers = [
+            w for w in self.catalog.live_workers() if w.name not in exclude
+        ]
+        if not workers:
+            return None
+        return self.strategy.rank(key, workers)[0]
+
     def _dispatch_shards(
         self,
         indexed: list[tuple[int, object, str]],
@@ -594,6 +693,7 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
         *,
         excluded: frozenset[str],
         sweeps: int,
+        attempts: dict[int, set[str]],
         request_id: str | None = None,
         tele: dict | None = None,
     ) -> None:
@@ -601,9 +701,23 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
 
         ``excluded`` holds workers that already failed these items in
         the current sweep — a lost shard goes straight to its tasks'
-        next-ranked candidates instead of waiting for eviction. When
+        next-ranked candidates instead of waiting for the breaker. When
         every live worker has been excluded the sweep is over: the retry
         policy backs off and the exclusion set resets.
+
+        ``attempts`` maps each unit's original index to the distinct
+        workers that have failed it, across *every* sweep of this batch:
+        a unit that accumulates ``max_unit_attempts`` distinct failed
+        workers is **quarantined** — recorded as a structured failure
+        with ``reason="quarantined"`` instead of re-entering the sweep,
+        so one poison mapping can't wedge the whole campaign.
+
+        Each shard dispatch is **hedged**: if the primary hasn't replied
+        within :meth:`_hedge_after` seconds, the shard is speculatively
+        re-sent to the next-ranked live candidate and the first ``ok``
+        reply wins. The loser's reply is discarded — harmless, because
+        scoring is deterministic and worker caches are idempotent, so
+        both replies are byte-identical.
         """
         t_route = self.clock()
         shards: dict[str, tuple[WorkerInfo, list]] = {}
@@ -621,26 +735,92 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
         if tele is not None:
             tele["route_s"] += self.clock() - t_route
 
-        outcomes: list[tuple[str, WorkerInfo, list, object]] = []
+        hedge_after = self._hedge_after()
+        outcomes: list[dict] = []
         outcomes_lock = threading.Lock()
+
+        def dispatch_once(worker: WorkerInfo, payload: dict):
+            t0 = self.clock()
+            try:
+                reply = self._send(worker, payload)
+            except ServiceOverloaded as exc:
+                return ("overloaded", exc)
+            except _FAILOVER_ERRORS as exc:
+                self.catalog.record_failure(worker.name, failover=True)
+                self._count(failovers=1)
+                return ("lost", exc)
+            else:
+                self._hist_shard.observe(self.clock() - t0)
+                return ("ok", reply)
 
         def run_shard(owner: WorkerInfo, items: list) -> None:
             payload = {"op": "batch", "tasks": [task for _, task, _ in items]}
             if request_id is not None:
                 payload["request_id"] = request_id
-            try:
-                reply = self._send(owner, payload)
-            except ServiceOverloaded as exc:
-                with outcomes_lock:
-                    outcomes.append(("overloaded", owner, items, exc))
-            except _FAILOVER_ERRORS as exc:
-                self.catalog.record_failure(owner.name, failover=True)
-                self._count(failovers=1)
-                with outcomes_lock:
-                    outcomes.append(("lost", owner, items, exc))
-            else:
-                with outcomes_lock:
-                    outcomes.append(("ok", owner, items, reply))
+            cond = threading.Condition()
+            replies: list[tuple[str, WorkerInfo, str, object]] = []
+
+            def attempt(worker: WorkerInfo, role: str) -> None:
+                status, extra = dispatch_once(worker, payload)
+                with cond:
+                    replies.append((role, worker, status, extra))
+                    cond.notify_all()
+
+            threading.Thread(
+                target=attempt, args=(owner, "primary"), daemon=True
+            ).start()
+            backup: WorkerInfo | None = None
+            with cond:
+                if hedge_after is not None:
+                    cond.wait_for(lambda: replies, timeout=hedge_after)
+                    if not replies:
+                        backup = self._pick_hedge_candidate(
+                            items[0][2], {owner.name} | set(excluded)
+                        )
+                        if backup is not None:
+                            self._count(hedges_sent=1)
+                            log.info(
+                                "hedging %d-task shard of slow worker %s "
+                                "onto %s", len(items), owner.name, backup.name,
+                            )
+                            threading.Thread(
+                                target=attempt, args=(backup, "hedge"),
+                                daemon=True,
+                            ).start()
+                expected = 2 if backup is not None else 1
+                while True:
+                    winner = next(
+                        (r for r in replies if r[2] == "ok"), None
+                    )
+                    if winner is None and len(replies) >= expected:
+                        # Both attempts failed: report the primary's
+                        # outcome (deterministic error surface).
+                        winner = next(
+                            (r for r in replies if r[0] == "primary"),
+                            replies[0],
+                        )
+                    if winner is not None:
+                        break
+                    cond.wait()
+                resolved = list(replies)
+            role, worker, status, extra = winner
+            hedge_won = status == "ok" and role == "hedge"
+            if hedge_won:
+                self._count(hedges_won=1)
+            failed = {
+                w.name for _, w, s, _ in resolved if s == "lost"
+            }
+            with outcomes_lock:
+                outcomes.append({
+                    "status": status,
+                    "worker": worker,
+                    "owner": owner,
+                    "items": items,
+                    "extra": extra,
+                    "failed": failed,
+                    "hedged": backup is not None,
+                    "hedge_won": hedge_won,
+                })
 
         groups = list(shards.values())
         if len(groups) == 1:
@@ -660,13 +840,23 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
         failed_names: set[str] = set()
         last_error: ServiceError | None = None
         retry_after: float | None = None
-        for status, owner, items, extra in outcomes:
+        for outcome in outcomes:
+            status = outcome["status"]
+            owner = outcome["owner"]
+            items = outcome["items"]
+            extra = outcome["extra"]
+            if outcome["hedged"]:
+                agg["hedges"] += 1
             if tele is not None:
                 hop = {
-                    "worker": owner.name,
+                    "worker": outcome["worker"].name,
                     "status": status,
                     "units": len(items),
                 }
+                if outcome["hedged"]:
+                    hop["hedged"] = True
+                    if outcome["hedge_won"]:
+                        hop["hedge_won"] = True
                 if status == "ok":
                     worker_tel = extra.pop("telemetry", None)
                     if worker_tel is not None:
@@ -694,13 +884,44 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
                 for field in ("executed", "disk_hits", "memo_hits", "coalesced"):
                     agg[field] += int(sub_stats.get(field, 0) or 0)
             else:
-                retry_items.extend(items)
-                failed_names.add(owner.name)
                 last_error = extra
+                failed_names |= outcome["failed"] or {owner.name}
                 if status == "overloaded" and extra.retry_after is not None:
                     retry_after = max(retry_after or 0.0, extra.retry_after)
                 if status == "lost":
                     agg["failovers"] += len(items)
+                    for index, _, _ in items:
+                        attempts.setdefault(index, set()).update(
+                            outcome["failed"] or {owner.name}
+                        )
+                for item in items:
+                    index = item[0]
+                    if (
+                        status == "lost"
+                        and len(attempts.get(index, ())) >= self.max_unit_attempts
+                    ):
+                        names = sorted(attempts[index])
+                        record = TaskFailure(
+                            error=type(extra).__name__,
+                            message=(
+                                f"unit failed on {len(names)} distinct "
+                                f"worker(s) ({', '.join(names)}); "
+                                f"last error: {extra}"
+                            ),
+                            request_id=request_id,
+                            reason="quarantined",
+                        ).to_dict()
+                        record["index"] = index
+                        failures.append(record)
+                        agg["quarantined"] += 1
+                        self._count(quarantined=1)
+                        log.error(
+                            "quarantining unit %d after %d distinct "
+                            "worker failures (%s)", index, len(names),
+                            ", ".join(names),
+                        )
+                    else:
+                        retry_items.append(item)
         if tele is not None:
             tele["merge_s"] += self.clock() - t_merge
 
@@ -718,7 +939,7 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
             # Same sweep: survivors remain — re-route the lost shard.
             self._dispatch_shards(
                 retry_items, values, failures, agg,
-                excluded=new_excluded, sweeps=sweeps,
+                excluded=new_excluded, sweeps=sweeps, attempts=attempts,
                 request_id=request_id, tele=tele,
             )
             return
@@ -736,7 +957,7 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
         )
         self._dispatch_shards(
             retry_items, values, failures, agg,
-            excluded=frozenset(), sweeps=sweeps,
+            excluded=frozenset(), sweeps=sweeps, attempts=attempts,
             request_id=request_id, tele=tele,
         )
 
@@ -744,14 +965,23 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
     # Fleet health
     # ------------------------------------------------------------------
     def check_workers(self) -> dict[str, bool]:
-        """Ping every cataloged worker once; returns ``{name: alive}``.
+        """Ping the breaker's candidates once; returns ``{name: alive}``.
 
-        A success clears the failure streak (reviving an evicted worker);
-        a failure extends it (evicting after the threshold). Pings count
-        as health traffic, not routed work.
+        A success clears the failure streak and closes the breaker (on
+        probation); a failure extends the streak (tripping at the
+        threshold). Workers whose breaker is open and still cooling are
+        *skipped* and reported not-alive — the whole point of the
+        breaker is that nothing probes before the cooldown elapses.
+        Taking the candidate snapshot promotes due breakers to
+        half-open, so their ping here is the single half-open trial.
+        Pings count as health traffic, not routed work.
         """
+        candidates = {w.name for w in self.catalog.live_workers()}
         results: dict[str, bool] = {}
         for worker in self.catalog.workers():
+            if worker.name not in candidates:
+                results[worker.name] = False
+                continue
             try:
                 self._send(
                     worker, {"op": "ping"},
@@ -836,6 +1066,9 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
             "workers_reporting": reporting,
             "totals": totals,
             "structure_cache": aggregate,
+            "supervisor": (
+                self.supervisor.stats() if self.supervisor is not None else None
+            ),
         }
 
     def metrics_reply(self) -> dict:
@@ -1040,6 +1273,9 @@ def serve_orchestrator_in_thread(
     request_timeout: float | None = None,
     connect_timeout: float | None = 5.0,
     ping_interval: float | None = None,
+    hedge: bool = True,
+    hedge_threshold: float | None = None,
+    max_unit_attempts: int = DEFAULT_MAX_UNIT_ATTEMPTS,
     recorder: FlightRecorder | None = None,
 ) -> tuple[OrchestratorServer, threading.Thread]:
     """Start an orchestrator on a background thread (ephemeral port).
@@ -1061,6 +1297,9 @@ def serve_orchestrator_in_thread(
         request_timeout=request_timeout,
         connect_timeout=connect_timeout,
         ping_interval=ping_interval,
+        hedge=hedge,
+        hedge_threshold=hedge_threshold,
+        max_unit_attempts=max_unit_attempts,
         recorder=recorder,
     )
     thread = threading.Thread(

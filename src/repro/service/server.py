@@ -237,6 +237,16 @@ class _RequestHandler(socketserver.StreamRequestHandler):
                     return
                 continue
             try:
+                faults = server.faults
+                if faults is not None and op in WORK_OPS:
+                    # Chaos hooks, pre-work: a hung worker stalls before
+                    # touching the engine (its admission slot stays held,
+                    # like a wedged process at capacity), and a flapping
+                    # one alternates severed connections with served
+                    # requests — the breaker's nemesis.
+                    faults.hang_if_armed()
+                    if faults.flap_now():
+                        return
                 started = server.clock()
                 reply, stop = handle_request(server, payload)
                 server.finalize_reply(payload, reply, server.clock() - started)

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 
 import pytest
 
@@ -27,6 +28,8 @@ from repro.exceptions import (
 )
 from repro.mapping.examples import single_communication
 from repro.service import (
+    FaultInjector,
+    FleetSupervisor,
     RetryPolicy,
     ServiceClient,
     WorkerCatalog,
@@ -36,7 +39,12 @@ from repro.service import (
     parse_endpoints,
     task_routing_key,
 )
-from repro.service.catalog import WorkerInfo
+from repro.service.catalog import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    WorkerInfo,
+)
 
 
 def pattern_task(u: int = 2, v: int = 2, *, solver: str = "deterministic",
@@ -111,10 +119,28 @@ class TestWorkerCatalog:
     def test_duplicate_name_and_endpoint_rejected(self):
         catalog = WorkerCatalog()
         catalog.register("h", 7000, name="a")
+        # Same name at the *same* endpoint is a true duplicate...
         with pytest.raises(ServiceError, match="already registered"):
-            catalog.register("h", 7001, name="a")
+            catalog.register("h", 7000, name="a")
+        # ... and an endpoint owned by another name stays exclusive.
         with pytest.raises(ServiceError, match="7000"):
             catalog.register("h", 7000)
+
+    def test_reregister_known_name_moves_endpoint_preserving_counters(self):
+        catalog = WorkerCatalog()
+        catalog.register("h", 7000, name="a")
+        catalog.note_routed("a")
+        catalog.record_failure("a", failover=True)
+        # A known name announcing a new endpoint is a *respawn*: the
+        # catalog moves it in place and keeps its traffic history.
+        info = catalog.register("h", 7001, name="a", capacity=4)
+        assert info is catalog.get("a")
+        assert (info.host, info.port) == ("h", 7001)
+        assert info.capacity == 4
+        assert info.routed == 1 and info.failovers == 1
+        assert info.live and info.consecutive_failures == 0
+        assert info.breaker_state == BREAKER_CLOSED
+        assert len(catalog) == 1
 
     def test_eviction_at_threshold_and_revival(self):
         catalog = WorkerCatalog(max_consecutive_failures=3)
@@ -170,6 +196,455 @@ class TestWorkerCatalog:
     def test_invalid_threshold_rejected(self):
         with pytest.raises(ServiceError, match="max_consecutive_failures"):
             WorkerCatalog(max_consecutive_failures=0)
+
+    def test_invalid_breaker_parameters_rejected(self):
+        with pytest.raises(ServiceError, match="breaker_cooldown_s"):
+            WorkerCatalog(breaker_cooldown_s=-1.0)
+        with pytest.raises(ServiceError, match="breaker_backoff"):
+            WorkerCatalog(breaker_backoff=0.5)
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker state machine (driven by a manual clock)
+# ----------------------------------------------------------------------
+class _ManualClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class TestCircuitBreaker:
+    def _catalog(self, **overrides) -> tuple[WorkerCatalog, _ManualClock]:
+        clock = _ManualClock()
+        kwargs: dict = dict(
+            max_consecutive_failures=3,
+            breaker_cooldown_s=10.0,
+            breaker_backoff=2.0,
+            breaker_max_cooldown_s=60.0,
+            clock=clock,
+        )
+        kwargs.update(overrides)
+        catalog = WorkerCatalog(**kwargs)
+        catalog.register("h", 7000, name="a")
+        return catalog, clock
+
+    def _trip(self, catalog: WorkerCatalog) -> None:
+        for _ in range(catalog.max_consecutive_failures):
+            catalog.record_failure("a")
+
+    def test_trip_at_threshold_opens_for_the_cooldown(self):
+        catalog, clock = self._catalog()
+        assert catalog.record_failure("a") is False
+        assert catalog.record_failure("a") is False
+        assert catalog.record_failure("a") is True  # breaker trips
+        info = catalog.get("a")
+        assert info.breaker_state == BREAKER_OPEN
+        assert info.live is False
+        assert info.evictions == 1 and info.open_streak == 1
+        assert catalog.live_workers() == []
+        clock.advance(9.9)  # still cooling down
+        assert catalog.live_workers() == []
+
+    def test_elapsed_cooldown_grants_exactly_one_trial(self):
+        catalog, clock = self._catalog()
+        self._trip(catalog)
+        clock.advance(10.0)
+        assert [w.name for w in catalog.live_workers()] == ["a"]
+        info = catalog.get("a")
+        assert info.breaker_state == BREAKER_HALF_OPEN
+        assert info.half_open_transitions == 1
+        catalog.begin("a")  # the trial goes out...
+        assert info.trial_in_flight is True
+        assert catalog.live_workers() == []  # ...and no second one may
+
+    def test_trial_success_closes_onto_probation(self):
+        catalog, clock = self._catalog()
+        self._trip(catalog)
+        clock.advance(10.0)
+        catalog.live_workers()
+        catalog.begin("a")
+        catalog.end("a")
+        catalog.record_success("a")
+        info = catalog.get("a")
+        assert info.breaker_state == BREAKER_CLOSED
+        assert info.live is True
+        assert info.probation == 3
+
+    def test_probation_failure_retrips_immediately(self):
+        # The anti-flap property: a recovered worker that fails once
+        # re-trips at once instead of absorbing a whole fresh streak of
+        # real requests per flap.
+        catalog, clock = self._catalog()
+        self._trip(catalog)
+        clock.advance(10.0)
+        catalog.live_workers()
+        catalog.record_success("a")  # trial passed; probation armed
+        assert catalog.record_failure("a") is True  # one strike re-trips
+        info = catalog.get("a")
+        assert info.breaker_state == BREAKER_OPEN
+        assert info.open_streak == 2
+
+    def test_probation_completion_restores_full_streak_budget(self):
+        catalog, clock = self._catalog()
+        self._trip(catalog)
+        clock.advance(10.0)
+        catalog.live_workers()
+        catalog.record_success("a")  # close; probation = 3
+        for _ in range(3):
+            catalog.record_success("a")
+        info = catalog.get("a")
+        assert info.probation == 0
+        assert info.open_streak == 0  # fully rehabilitated
+        # Off probation, a single failure no longer trips.
+        assert catalog.record_failure("a") is False
+        assert info.breaker_state == BREAKER_CLOSED
+
+    def test_trial_failure_escalates_the_cooldown(self):
+        catalog, clock = self._catalog()
+        self._trip(catalog)
+        assert catalog.get("a").cooldown_until == clock.now + 10.0
+        clock.advance(10.0)
+        catalog.live_workers()
+        catalog.begin("a")
+        catalog.end("a")
+        assert catalog.record_failure("a") is True  # trial failed
+        info = catalog.get("a")
+        assert info.breaker_state == BREAKER_OPEN
+        assert info.open_streak == 2
+        assert info.cooldown_until == clock.now + 20.0  # doubled
+
+    def test_cooldown_escalation_is_capped(self):
+        catalog, clock = self._catalog()
+        expected = [10.0, 20.0, 40.0, 60.0, 60.0]  # capped at the max
+        for cooldown in expected:
+            self._trip(catalog)
+            info = catalog.get("a")
+            assert info.cooldown_until == pytest.approx(clock.now + cooldown)
+            clock.advance(cooldown)
+            catalog.live_workers()  # promote to half-open
+            catalog.record_success("a")  # close (probation armed)
+            # Next loop's first failure re-trips via probation; feed the
+            # remaining threshold failures harmlessly against open.
+        assert catalog.get("a").evictions == len(expected)
+
+    def test_reannounce_moves_endpoint_and_arms_immediate_probe(self):
+        catalog, clock = self._catalog()
+        catalog.note_routed("a")
+        info = catalog.reannounce("a", "h", 7999)
+        assert (info.host, info.port) == ("h", 7999)
+        assert info.routed == 1  # traffic history survives the respawn
+        assert info.breaker_state == BREAKER_OPEN and info.live is False
+        # The cooldown is already elapsed: the very next snapshot grants
+        # the replacement process its probe.
+        assert [w.name for w in catalog.live_workers()] == ["a"]
+        assert catalog.get("a").breaker_state == BREAKER_HALF_OPEN
+
+    def test_reannounce_rejects_foreign_endpoint_and_unknown_name(self):
+        catalog, _clock = self._catalog()
+        catalog.register("h", 7001, name="b")
+        with pytest.raises(ServiceError, match="already registered"):
+            catalog.reannounce("a", "h", 7001)
+        with pytest.raises(ServiceError, match="unknown worker"):
+            catalog.reannounce("ghost", "h", 7002)
+
+    def test_remove_of_a_tripped_worker(self):
+        catalog, _clock = self._catalog(max_consecutive_failures=1)
+        catalog.record_failure("a")
+        assert catalog.get("a").breaker_state == BREAKER_OPEN
+        assert catalog.remove("a").name == "a"
+        assert len(catalog) == 0
+        with pytest.raises(ServiceError, match="unknown worker"):
+            catalog.get("a")
+
+    def test_revival_after_trip_clears_the_failure_streak(self):
+        catalog, clock = self._catalog()
+        self._trip(catalog)
+        assert catalog.get("a").consecutive_failures == 3
+        clock.advance(10.0)
+        catalog.live_workers()
+        catalog.record_success("a")
+        info = catalog.get("a")
+        assert info.consecutive_failures == 0
+        assert info.live is True
+
+
+# ----------------------------------------------------------------------
+# FleetSupervisor
+# ----------------------------------------------------------------------
+class TestFleetSupervisor:
+    def _supervised(self, **overrides):
+        clock = _ManualClock()
+        catalog = WorkerCatalog(breaker_cooldown_s=10.0, clock=clock)
+        catalog.register("h", 7000, name="a")
+        kwargs: dict = dict(
+            check_interval=0.1,
+            max_restarts=3,
+            backoff_base=1.0,
+            backoff_multiplier=2.0,
+            backoff_max=8.0,
+            clock=clock,
+        )
+        kwargs.update(overrides)
+        supervisor = FleetSupervisor(catalog, **kwargs)
+        return supervisor, catalog, clock
+
+    def test_check_once_respawns_dead_worker_and_reannounces(self):
+        supervisor, catalog, _clock = self._supervised()
+        alive = {"a": False}
+
+        def respawn() -> tuple[str, int]:
+            alive["a"] = True
+            return ("h", 7000)
+
+        supervisor.watch("a", is_alive=lambda: alive["a"], respawn=respawn)
+        assert supervisor.check_once() == ["a"]
+        assert supervisor.respawns == 1
+        # The respawned worker is armed for an immediate half-open
+        # probe, not trusted blindly.
+        assert catalog.get("a").breaker_state == BREAKER_OPEN
+        assert [w.name for w in catalog.live_workers()] == ["a"]
+        assert catalog.get("a").breaker_state == BREAKER_HALF_OPEN
+        assert supervisor.check_once() == []  # alive again: nothing to do
+
+    def test_backoff_spaces_consecutive_respawn_attempts(self):
+        supervisor, _catalog, clock = self._supervised()
+        attempts: list[float] = []
+
+        def respawn() -> tuple[str, int]:
+            attempts.append(clock.now)
+            return ("h", 7000)  # "succeeds", but the worker dies again
+
+        supervisor.watch("a", is_alive=lambda: False, respawn=respawn)
+        assert supervisor.check_once() == ["a"]
+        assert supervisor.check_once() == []  # inside the backoff window
+        clock.advance(1.0)  # base backoff elapsed
+        assert supervisor.check_once() == ["a"]
+        clock.advance(1.0)  # doubled backoff not yet elapsed
+        assert supervisor.check_once() == []
+        clock.advance(1.0)
+        assert supervisor.check_once() == ["a"]
+        assert attempts == [100.0, 101.0, 103.0]
+
+    def test_restart_budget_exhaustion_abandons_the_worker(self):
+        supervisor, _catalog, clock = self._supervised(max_restarts=1)
+        supervisor.watch(
+            "a", is_alive=lambda: False, respawn=lambda: ("h", 7000)
+        )
+        assert supervisor.check_once() == ["a"]
+        clock.advance(60.0)
+        assert supervisor.check_once() == []  # budget spent: abandoned
+        stats = supervisor.stats()
+        assert stats["respawns"] == 1
+        (row,) = stats["workers"]
+        assert row["abandoned"] is True and row["restarts"] == 1
+        clock.advance(60.0)
+        assert supervisor.check_once() == []  # stays abandoned
+
+    def test_failed_respawn_consumes_budget_and_is_counted(self):
+        supervisor, _catalog, clock = self._supervised(max_restarts=2)
+
+        def respawn() -> tuple[str, int]:
+            raise RuntimeError("no ports left")
+
+        supervisor.watch("a", is_alive=lambda: False, respawn=respawn)
+        assert supervisor.check_once() == []
+        clock.advance(1.0)
+        assert supervisor.check_once() == []
+        clock.advance(60.0)
+        assert supervisor.check_once() == []  # budget spent
+        stats = supervisor.stats()
+        assert stats["respawns"] == 0
+        (row,) = stats["workers"]
+        assert row["failed_respawns"] == 2 and row["abandoned"] is True
+
+    def test_invalid_parameters_rejected(self):
+        catalog = WorkerCatalog()
+        with pytest.raises(ServiceError, match="check_interval"):
+            FleetSupervisor(catalog, check_interval=0.0)
+        with pytest.raises(ServiceError, match="max_restarts"):
+            FleetSupervisor(catalog, max_restarts=-1)
+
+    def test_in_process_fleet_respawn_end_to_end(self):
+        tasks = distinct_tasks(4)
+        with local_fleet(2, breaker_cooldown_s=0.05, retry=RetryPolicy(
+            max_attempts=3, base_delay=0.01, max_delay=0.05, seed=0,
+        )) as fleet:
+            supervisor = fleet.make_supervisor(
+                check_interval=0.05, max_restarts=3,
+            )
+            with fleet.client() as client:
+                before, _, _ = client.evaluate_batch(tasks)
+                fleet.kill_worker("w1")
+                assert supervisor.check_once() == ["w1"]
+                after, fails, _ = client.evaluate_batch(tasks)
+                stats = client.stats()
+        assert fails == [] and after == before
+        assert stats["supervisor"]["respawns"] == 1
+        rows = {r["name"]: r for r in stats["workers"]}
+        # The respawned worker passed its probe and serves again.
+        assert rows["w1"]["breaker"]["state"] == BREAKER_CLOSED
+        assert rows["w1"]["breaker"]["half_open_transitions"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Hedged straggler dispatch
+# ----------------------------------------------------------------------
+class TestHedgedDispatch:
+    def test_straggling_shard_is_hedged_and_the_loser_discarded(self):
+        task = pattern_task(2, 3)
+        with local_fleet(2, hedge_threshold=0.1) as fleet:
+            with fleet.client() as client:
+                first_values, _, _ = client.evaluate_batch([task])
+                first = first_values[0]
+                # Stall the affinity owner of this key: its *next* work
+                # op sleeps far past the hedge threshold.
+                owner = fleet.orchestrator.strategy.rank(
+                    task_routing_key(task), fleet.catalog.live_workers()
+                )[0].name
+                fleet.worker(owner).server.faults = FaultInjector(
+                    {"hang": 1}, hang_s=0.8
+                )
+                (hedged,), fails, _ = client.evaluate_batch([task])
+                stats = client.stats()
+        assert fails == []
+        assert hedged == first  # the hedge returned the same value
+        orch = stats["orchestrator"]
+        assert orch["hedges_sent"] >= 1
+        assert orch["hedges_won"] >= 1
+
+    def test_hedging_disabled_never_speculates(self):
+        task = pattern_task(2, 3)
+        with local_fleet(2, hedge=False) as fleet:
+            with fleet.client() as client:
+                client.evaluate_batch([task])
+                stats = client.stats()
+        assert stats["orchestrator"]["hedges_sent"] == 0
+
+
+# ----------------------------------------------------------------------
+# Poison-unit quarantine
+# ----------------------------------------------------------------------
+class TestPoisonQuarantine:
+    def test_unit_failing_on_distinct_workers_is_quarantined(self):
+        task = pattern_task(2, 3)
+        with local_fleet(
+            2,
+            faults={0: "drop:4", 1: "drop:4"},
+            max_unit_attempts=2,
+            hedge=False,
+            retry=RetryPolicy(
+                max_attempts=2, base_delay=0.01, max_delay=0.02, seed=0,
+            ),
+        ) as fleet:
+            with fleet.client() as client:
+                _values, failures, _stats = client.evaluate_batch([task])
+                stats = client.stats()
+        assert len(failures) == 1
+        failure = failures[0]
+        assert failure["reason"] == "quarantined"
+        assert failure["index"] == 0
+        assert "2 distinct worker" in failure["message"]
+        assert stats["orchestrator"]["quarantined"] == 1
+
+    def test_quarantine_counts_distinct_workers_not_raw_retries(self):
+        # A single unit walks the same-sweep re-route chain across all
+        # three workers (each fails once) and only then quarantines —
+        # the message names every distinct worker it died on.
+        task = pattern_task(2, 3)
+        with local_fleet(
+            3,
+            faults={0: "drop:8", 1: "drop:8", 2: "drop:8"},
+            max_unit_attempts=3,
+            hedge=False,
+            retry=RetryPolicy(
+                max_attempts=2, base_delay=0.01, max_delay=0.02, seed=0,
+            ),
+        ) as fleet:
+            with fleet.client() as client:
+                _values, failures, _stats = client.evaluate_batch([task])
+        assert len(failures) == 1
+        failure = failures[0]
+        assert failure["reason"] == "quarantined"
+        assert "3 distinct worker" in failure["message"]
+        for name in ("w0", "w1", "w2"):
+            assert name in failure["message"]
+
+
+# ----------------------------------------------------------------------
+# Self-healing acceptance proof
+# ----------------------------------------------------------------------
+class TestSelfHealingAcceptance:
+    def test_supervised_chaos_run_heals_hedges_and_matches_direct(
+        self, tmp_path
+    ):
+        """The PR acceptance proof: a 4-worker *supervised* fleet loses a
+        worker mid-campaign (the supervisor respawns it through the
+        breaker's half-open probe) and a straggling shard is hedged —
+        and the store still comes out byte-identical to a direct
+        in-process run, with zero lost or duplicated units."""
+        spec = get_preset("smoke")
+        direct_store = ResultStore(tmp_path / "direct.jsonl")
+        run_campaign(spec, direct_store)
+
+        fleet_path = tmp_path / "fleet.jsonl"
+        with local_fleet(
+            4,
+            breaker_cooldown_s=0.05,
+            hedge_threshold=0.2,
+            retry=RetryPolicy(
+                max_attempts=4, base_delay=0.01, max_delay=0.05, seed=0,
+            ),
+        ) as fleet:
+            supervisor = fleet.make_supervisor(
+                check_interval=0.05, max_restarts=5,
+            )
+            supervisor.start()
+            killer = threading.Timer(0.05, fleet.kill_worker, args=("w1",))
+            killer.start()
+            try:
+                with fleet.client(
+                    retry=RetryPolicy(max_attempts=4, seed=0)
+                ) as client:
+                    summary = run_campaign(
+                        spec, ResultStore(fleet_path), client=client
+                    )
+                    deadline = time.monotonic() + 10.0
+                    while supervisor.respawns < 1:
+                        assert time.monotonic() < deadline, "no respawn seen"
+                        time.sleep(0.01)
+                    # Force one deterministic hedge: stall the affinity
+                    # owner of a probe task and let the orchestrator
+                    # speculate the shard onto the next-ranked worker.
+                    workers = fleet.catalog.live_workers()
+                    assert len(workers) == 4  # the respawn rejoined
+                    probe = distinct_tasks(8)[0]
+                    owner = fleet.orchestrator.strategy.rank(
+                        task_routing_key(probe), workers
+                    )[0].name
+                    fleet.worker(owner).server.faults = FaultInjector(
+                        {"hang": 1}, hang_s=0.8
+                    )
+                    _, probe_fails, _ = client.evaluate_batch([probe])
+                    assert probe_fails == []
+                    stats = client.stats()
+            finally:
+                killer.cancel()
+                killer.join()
+        assert summary.executed == summary.total
+        assert summary.skipped == 0
+        assert fleet_path.read_bytes() == (
+            tmp_path / "direct.jsonl"
+        ).read_bytes()
+        assert stats["supervisor"]["respawns"] >= 1
+        assert stats["orchestrator"]["hedges_sent"] >= 1
+        assert stats["orchestrator"]["hedges_won"] >= 1
+        rows = {r["name"]: r for r in stats["workers"]}
+        assert rows["w1"]["breaker"]["half_open_transitions"] >= 1
 
 
 # ----------------------------------------------------------------------
@@ -603,10 +1078,12 @@ class TestFleetCli:
         assert main(["stats", "--host", host, "--port", str(port)]) == 0
         out = capsys.readouterr().out
         assert "orchestrator: strategy=round_robin" in out
+        assert "0 hedges sent (0 won), 0 quarantined" in out
         assert "fleet totals: 4 units, 4 executed" in out
-        for column in ("worker", "endpoint", "live", "routed", "failov"):
+        for column in ("worker", "endpoint", "breaker", "routed", "failov"):
             assert column in out
         assert "w0" in out and "w1" in out
+        assert "closed" in out  # healthy workers render their breaker state
 
     def test_stats_json_mode_is_raw_aggregate(self, cli_fleet, capsys):
         host, port = cli_fleet.endpoint

@@ -139,6 +139,7 @@ class TestFaultInjector:
         assert not inj.take("crash")  # never armed
         assert inj.fired == {
             "drop": 2, "delay": 0, "crash": 0, "torn_tail": 0,
+            "hang": 0, "flap": 0,
         }
         assert inj.stats()["armed"] == {}
 
@@ -152,7 +153,7 @@ class TestFaultInjector:
             FaultInjector.from_spec("meteor:1")
         with pytest.raises(ServiceError, match="fault spec"):
             FaultInjector.from_spec("drop")
-        with pytest.raises(ServiceError, match="third field"):
+        with pytest.raises(ServiceError, match="third SECONDS field"):
             FaultInjector.from_spec("drop:1:0.5")
         with pytest.raises(ServiceError, match="count"):
             FaultInjector.from_spec("drop:many")
@@ -180,6 +181,95 @@ class TestFaultInjector:
         empty.write_bytes(b"")
         assert not FaultInjector().tear_cache_tail(empty)
         assert not FaultInjector().tear_cache_tail(tmp_path / "missing")
+
+
+class TestFaultSpecValidation:
+    """Spec-parse validation: bad clauses fail loudly, naming themselves."""
+
+    def test_zero_count_rejected_naming_clause(self):
+        with pytest.raises(ServiceError, match=r"drop:0.*count"):
+            FaultInjector.from_spec("drop:0")
+
+    def test_negative_count_rejected_naming_clause(self):
+        with pytest.raises(ServiceError, match=r"crash:-2.*count"):
+            FaultInjector.from_spec("drop:1, crash:-2")
+
+    def test_negative_seconds_rejected_naming_clause(self):
+        with pytest.raises(ServiceError, match=r"delay:1:-0\.5"):
+            FaultInjector.from_spec("delay:1:-0.5")
+        with pytest.raises(ServiceError, match=r"hang:1:-1"):
+            FaultInjector.from_spec("hang:1:-1")
+
+    def test_nan_seconds_rejected(self):
+        with pytest.raises(ServiceError, match="seconds"):
+            FaultInjector.from_spec("delay:1:nan")
+
+    def test_non_numeric_seconds_rejected(self):
+        with pytest.raises(ServiceError, match="seconds"):
+            FaultInjector.from_spec("hang:1:soon")
+
+    def test_hang_with_seconds_parses(self):
+        inj = FaultInjector.from_spec("hang:1:2.5")
+        assert inj.armed("hang") == 1
+        assert inj.hang_s == 2.5
+
+    def test_hang_default_seconds(self):
+        from repro.service.faults import DEFAULT_HANG_S
+
+        inj = FaultInjector.from_spec("hang:2")
+        assert inj.armed("hang") == 2
+        assert inj.hang_s == DEFAULT_HANG_S
+
+    def test_flap_parses_but_rejects_seconds_field(self):
+        assert FaultInjector.from_spec("flap:3").armed("flap") == 3
+        with pytest.raises(ServiceError, match="third SECONDS field"):
+            FaultInjector.from_spec("flap:2:1.0")
+
+
+class TestHangAndFlap:
+    def test_hang_if_armed_sleeps_once(self):
+        inj = FaultInjector({"hang": 1}, hang_s=0.05)
+        start = time.monotonic()
+        assert inj.hang_if_armed() is True
+        assert time.monotonic() - start >= 0.05
+        assert inj.hang_if_armed() is False  # budget spent
+        assert inj.fired["hang"] == 1
+
+    def test_flap_alternates_and_counts_failures_only(self):
+        inj = FaultInjector({"flap": 2})
+        # Sever, pass, sever, pass... until the budget is spent.
+        assert inj.flap_now() is True
+        assert inj.flap_now() is False
+        assert inj.flap_now() is True
+        assert inj.flap_now() is False
+        assert inj.flap_now() is False  # budget spent: stays healthy
+        assert inj.fired["flap"] == 2
+
+    def test_server_hang_stalls_one_work_op(self):
+        engine = EvaluationEngine()
+        faults = FaultInjector({"hang": 1}, hang_s=0.15)
+        with served(engine, port=0, faults=faults) as server:
+            host, port = server.endpoint
+            with ServiceClient(host, port, timeout=10.0) as client:
+                start = time.monotonic()
+                first = client.evaluate(pattern_task())
+                stalled = time.monotonic() - start
+                second = client.evaluate(pattern_task(3, 2))
+        assert first is not None and second is not None
+        assert stalled >= 0.15
+        assert faults.fired["hang"] == 1
+
+    def test_server_flap_severs_then_recovers(self):
+        engine = EvaluationEngine()
+        faults = FaultInjector({"flap": 1})
+        with served(engine, port=0, faults=faults) as server:
+            host, port = server.endpoint
+            with ServiceClient(host, port, retry=RetryPolicy(
+                max_attempts=3, base_delay=0.01, max_delay=0.05, seed=0,
+            )) as client:
+                value = client.evaluate(pattern_task())
+        assert value is not None  # the retry rode out the severed attempt
+        assert faults.fired["flap"] == 1
 
 
 # ----------------------------------------------------------------------
